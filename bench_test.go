@@ -1,0 +1,316 @@
+// Benchmarks regenerating the paper's evaluation (§V), one per figure
+// plus the ablations of §VI. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration performs the figure's unit of work on the calibrated
+// simulated testbed (internal/netsim.USBLink stands in for the paper's
+// iPAQ↔laptop link); the reported ns/op at each payload size is the
+// ordinate of the corresponding figure. cmd/benchfig prints the full
+// series in one shot instead.
+package smc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/bench"
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/matcher"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// benchPayloads is a compact payload grid shared by the bus
+// benchmarks; cmd/benchfig sweeps the figures' full grids.
+var benchPayloads = []int{0, 1000, 3000, 5000}
+
+// BenchmarkFig4aResponseTime measures one publish→deliver round per
+// iteration for each bus flavour and payload size — Figure 4(a).
+func BenchmarkFig4aResponseTime(b *testing.B) {
+	for _, flavor := range bench.Flavors() {
+		for _, size := range benchPayloads {
+			name := fmt.Sprintf("%s/payload=%dB", flavor.Name, size)
+			b.Run(name, func(b *testing.B) {
+				env, err := bench.NewEnv(flavor, bench.EnvConfig{
+					Link: netsim.USBLink, Subscribers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer env.Close()
+				if _, err := env.PublishAndWait(size, 30*time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := env.PublishAndWait(size, 30*time.Second); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4bThroughput streams windowed events for each flavour
+// and payload size and reports payload KB/s — Figure 4(b).
+func BenchmarkFig4bThroughput(b *testing.B) {
+	for _, flavor := range bench.Flavors() {
+		for _, size := range []int{250, 1000, 3000} {
+			name := fmt.Sprintf("%s/payload=%dB", flavor.Name, size)
+			b.Run(name, func(b *testing.B) {
+				env, err := bench.NewEnv(flavor, bench.EnvConfig{
+					Link: netsim.USBLink, Subscribers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer env.Close()
+				b.ResetTimer()
+				var bps float64
+				var events int
+				for i := 0; i < b.N; i++ {
+					bps, events, err = env.Throughput(size, 500*time.Millisecond, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(bps/1024, "KB/s")
+				b.ReportMetric(float64(events), "events")
+			})
+		}
+	}
+}
+
+// BenchmarkLinkBaseline measures the raw simulated link with no bus in
+// the path — the §V in-text calibration (≈575 KB/s, ≈1.5 ms).
+func BenchmarkLinkBaseline(b *testing.B) {
+	b.Run("latency", func(b *testing.B) {
+		net := netsim.New(netsim.USBLink, netsim.WithSeed(7))
+		defer net.Close()
+		src, err := net.Attach(ident.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := net.Attach(ident.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := []byte{1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.Send(dst.LocalID(), payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dst.RecvTimeout(5 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("throughput-4KB", func(b *testing.B) {
+		net := netsim.New(netsim.USBLink, netsim.WithSeed(8))
+		defer net.Close()
+		src, err := net.Attach(ident.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := net.Attach(ident.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, 4096)
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.Send(dst.LocalID(), payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dst.RecvTimeout(5 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFanout measures delivery-to-all delay against the
+// number of recipients (§VI).
+func BenchmarkAblationFanout(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("subscribers=%d", n), func(b *testing.B) {
+			env, err := bench.NewEnv(bench.FastFlavor, bench.EnvConfig{
+				Link: netsim.USBLink, Subscribers: n,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			if _, err := env.PublishAndWait(500, 60*time.Second); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.PublishAndWait(500, 60*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMatcher isolates the matching mechanisms (no host
+// cost, no network): match one event against n installed
+// subscriptions. The translation overhead of the Siena engine is
+// directly visible in ns/op and allocs/op.
+func BenchmarkAblationMatcher(b *testing.B) {
+	kinds := []matcher.Kind{matcher.KindSiena, matcher.KindFast, matcher.KindTyped}
+	for _, kind := range kinds {
+		for _, n := range []int{10, 100, 1000, 10000} {
+			b.Run(fmt.Sprintf("%s/subs=%d", kind, n), func(b *testing.B) {
+				m, err := matcher.New(kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := bench.NewMatcherWorkload(n)
+				for i, f := range w.Filters {
+					if err := m.Subscribe(ident.New(uint64(i+1)), f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Match(w.Events[i%len(w.Events)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationQuench compares the publish path with and without
+// quenching while no subscriber matches (§VI power saving): quenched
+// publishers skip the radio entirely.
+func BenchmarkAblationQuench(b *testing.B) {
+	for _, quench := range []bool{false, true} {
+		name := "off"
+		if quench {
+			name = "on"
+		}
+		b.Run("quench="+name, func(b *testing.B) {
+			env, err := bench.NewEnv(bench.FastFlavor, bench.EnvConfig{
+				Link: netsim.USBLink, Subscribers: 1,
+				NoSubscriptions: true, Quench: quench,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			// Prime: first publish triggers the quench.
+			_ = env.Pub.Publish(event.NewTyped("bench"))
+			time.Sleep(50 * time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = env.Pub.Publish(event.NewTyped("bench").SetInt("n", int64(i)))
+			}
+			b.StopTimer()
+			st := env.Pub.Stats()
+			b.ReportMetric(float64(st.Published), "transmitted")
+			b.ReportMetric(float64(st.QuenchSuppressed), "suppressed")
+		})
+	}
+}
+
+// BenchmarkAblationRedelivery measures a full disconnect/redeliver
+// cycle (§VI): publish through a window where the subscriber is
+// unreachable, restore it, and wait for complete in-order delivery.
+func BenchmarkAblationRedelivery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env, err := bench.NewEnv(bench.FastFlavor, bench.EnvConfig{
+			Link: netsim.USBLink, Subscribers: 1, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub := env.Subs[0]
+		b.StartTimer()
+
+		env.Net.Isolate(sub.ID())
+		for k := 0; k < 5; k++ {
+			if err := env.Pub.Publish(event.NewTyped("bench").SetInt("n", int64(k))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		env.Net.Restore(sub.ID())
+		for k := 0; k < 5; k++ {
+			if _, err := sub.NextEvent(30 * time.Second); err != nil {
+				b.Fatalf("delivery %d: %v", k, err)
+			}
+		}
+		b.StopTimer()
+		env.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkManagementWorkload pushes the realistic SMC traffic mix
+// (§II-C: mostly small readings, some alarms, rare membership/control)
+// through each bus flavour with the standard monitoring subscriptions
+// installed, measuring end-to-end cost per event.
+func BenchmarkManagementWorkload(b *testing.B) {
+	for _, flavor := range bench.Flavors() {
+		b.Run(flavor.Name, func(b *testing.B) {
+			env, err := bench.NewEnv(flavor, bench.EnvConfig{
+				Link: netsim.USBLink, Subscribers: 1, NoSubscriptions: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			sub := env.Subs[0]
+			// An empty filter receives the whole stream, so every
+			// published event can be awaited and ns/op covers the
+			// full publish→match→deliver pipeline.
+			if err := sub.Subscribe(event.NewFilter()); err != nil {
+				b.Fatal(err)
+			}
+			w := bench.NewWorkload(bench.DefaultMix(), 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, _ := w.Next()
+				if err := env.Pub.Publish(e); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sub.NextEvent(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireEncoding covers the byte-array boundary of §III-D:
+// event encode and decode cost at representative sizes.
+func BenchmarkWireEncoding(b *testing.B) {
+	for _, size := range []int{64, 1024, 4096} {
+		e := event.NewTyped("bench").SetBytes("payload", make([]byte, size))
+		b.Run(fmt.Sprintf("encode/%dB", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				benchSink = wire.EncodeEvent(e)
+			}
+		})
+		buf := wire.EncodeEvent(e)
+		b.Run(fmt.Sprintf("decode/%dB", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeEvent(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+var benchSink []byte

@@ -1,0 +1,140 @@
+// Command sensorsim simulates a body sensor (or actuator) that joins a
+// running smcd cell over UDP and streams device-native readings, which
+// the cell-side proxy translates into events (§III-B).
+//
+// Usage:
+//
+//	sensorsim -cell ward-3 -secret s3cret -discovery <id from smcd> \
+//	          -kind heart-rate -interval 1s
+//	sensorsim -cell ward-3 -secret s3cret -discovery <id> \
+//	          -actuator defib-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/sensor"
+	"github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func kindAndDeviceType(kind string) (sensor.Kind, string, error) {
+	switch kind {
+	case "heart-rate":
+		return sensor.KindHeartRate, sensor.DeviceTypeHeartRate, nil
+	case "spo2":
+		return sensor.KindSpO2, sensor.DeviceTypeSpO2, nil
+	case "temperature":
+		return sensor.KindTemperature, sensor.DeviceTypeTemperature, nil
+	case "bp-systolic":
+		return sensor.KindBPSystolic, sensor.DeviceTypeBP, nil
+	case "bp-diastolic":
+		return sensor.KindBPDiastolic, sensor.DeviceTypeBP, nil
+	case "glucose":
+		return sensor.KindGlucose, sensor.DeviceTypeGlucose, nil
+	default:
+		return 0, "", fmt.Errorf("unknown sensor kind %q", kind)
+	}
+}
+
+func run() error {
+	var (
+		cellName = flag.String("cell", "smc-cell", "cell to join")
+		secret   = flag.String("secret", "change-me", "shared admission secret")
+		discStr  = flag.String("discovery", "", "discovery service ID (from smcd); empty waits for beacons")
+		kindStr  = flag.String("kind", "heart-rate", "sensor kind: heart-rate, spo2, temperature, bp-systolic, bp-diastolic, glucose")
+		name     = flag.String("name", "", "device name (default <kind>-sim)")
+		interval = flag.Duration("interval", time.Second, "sampling interval")
+		actuator = flag.String("actuator", "", "run as an actuator with this name instead of a sensor")
+		seed     = flag.Int64("seed", 1, "waveform seed")
+	)
+	flag.Parse()
+
+	tr, err := transport.NewUDPTransport()
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+
+	var discID ident.ID
+	if *discStr != "" {
+		discID, err = ident.Parse(*discStr)
+		if err != nil {
+			return fmt.Errorf("discovery ID: %w", err)
+		}
+	}
+
+	devType := ""
+	var kind sensor.Kind
+	devName := *name
+	if *actuator != "" {
+		devType = sensor.DeviceTypeDefib
+		if devName == "" {
+			devName = *actuator
+		}
+	} else {
+		kind, devType, err = kindAndDeviceType(*kindStr)
+		if err != nil {
+			return err
+		}
+		if devName == "" {
+			devName = *kindStr + "-sim"
+		}
+	}
+
+	dev, err := smc.JoinCell(tr, smc.DeviceConfig{
+		Type:      devType,
+		Name:      devName,
+		Secret:    []byte(*secret),
+		Cell:      *cellName,
+		Discovery: discID,
+	})
+	if err != nil {
+		return fmt.Errorf("join: %w", err)
+	}
+	fmt.Printf("joined cell %q as %s (%s), bus %s\n",
+		dev.Join.Cell, devName, devType, dev.Join.Bus)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *actuator != "" {
+		act := sensor.NewActuatorSim(*actuator)
+		act.Start(dev.Client.Data())
+		fmt.Println("actuator ready; waiting for commands")
+		<-sig
+		act.Stop()
+		fmt.Printf("executed %d commands\n", len(act.Actions()))
+		return dev.Leave()
+	}
+
+	sim := sensor.NewSim(kind, sensor.WaveformFor(kind, *seed), *interval, dev.Client)
+	sim.Start()
+	fmt.Printf("streaming %s readings every %v\n", *kindStr, *interval)
+
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			sim.Stop()
+			fmt.Printf("\nsent %d readings (%d failures)\n", sim.Sent(), sim.Failures())
+			return dev.Leave()
+		case <-ticker.C:
+			fmt.Printf("[status] sent=%d failures=%d quenched=%v\n",
+				sim.Sent(), sim.Failures(), dev.Client.Quenched())
+		}
+	}
+}

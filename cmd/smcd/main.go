@@ -1,0 +1,124 @@
+// Command smcd runs a full Self-Managed Cell (event bus + discovery
+// service + policy service) over real UDP sockets on the local host,
+// mirroring the prototype deployment of §IV.
+//
+// Usage:
+//
+//	smcd -cell ward-3 -secret s3cret -policies policies.pol
+//
+// The daemon prints the bus and discovery service IDs (which encode
+// their UDP address and port, §IV); hand the discovery ID to sensorsim
+// instances so they can join.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/matcher"
+	"github.com/amuse/smc/internal/policy"
+	"github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		cellName   = flag.String("cell", "smc-cell", "cell name")
+		secret     = flag.String("secret", "change-me", "shared admission secret")
+		policyFile = flag.String("policies", "", "Ponder-lite policy file to load")
+		engine     = flag.String("matcher", "fast", "matching mechanism: fast or siena")
+		lease      = flag.Duration("lease", 2*time.Second, "membership lease")
+		grace      = flag.Duration("grace", 3*time.Second, "grace period after lease expiry")
+		verbose    = flag.Bool("v", false, "log policy actions and membership changes")
+	)
+	flag.Parse()
+
+	busTr, err := transport.NewUDPTransport()
+	if err != nil {
+		return fmt.Errorf("bus transport: %w", err)
+	}
+	discTr, err := transport.NewUDPTransport()
+	if err != nil {
+		return fmt.Errorf("discovery transport: %w", err)
+	}
+
+	cfg := smc.Config{
+		Cell:    *cellName,
+		Secret:  []byte(*secret),
+		Matcher: matcher.Kind(*engine),
+		Lease:   *lease,
+		Grace:   *grace,
+	}
+	if *verbose {
+		cfg.PolicyOptions = append(cfg.PolicyOptions,
+			policy.WithLogf(func(format string, args ...interface{}) {
+				log.Printf(format, args...)
+			}))
+	}
+	if *policyFile != "" {
+		text, err := os.ReadFile(*policyFile)
+		if err != nil {
+			return fmt.Errorf("read policies: %w", err)
+		}
+		cfg.PolicyText = string(text)
+	}
+
+	cell, err := smc.NewCell(busTr, discTr, cfg)
+	if err != nil {
+		return err
+	}
+	cell.Start()
+	defer cell.Close()
+
+	if *verbose {
+		watcher := cell.Bus.Local("smcd-log")
+		logMember := func(e *event.Event) {
+			name, _ := e.Get("name")
+			dt, _ := e.Get(event.AttrDeviceType)
+			log.Printf("%s: %s (%s)", e.Type(), name, dt)
+		}
+		if err := watcher.Subscribe(event.NewFilter().WhereType(event.TypeNewMember), logMember); err != nil {
+			return err
+		}
+		if err := watcher.Subscribe(event.NewFilter().WhereType(event.TypePurgeMember), logMember); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("cell      : %s\n", *cellName)
+	fmt.Printf("matcher   : %s\n", cell.Bus.MatcherName())
+	fmt.Printf("bus       : %s (udp %s)\n", cell.Bus.ID(), busTr.LocalAddr())
+	fmt.Printf("discovery : %s (udp %s)\n", cell.Discovery.ID(), discTr.LocalAddr())
+	fmt.Printf("join with : sensorsim -cell %s -secret %s -discovery %s\n",
+		*cellName, *secret, cell.Discovery.ID())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			members := cell.Discovery.Members()
+			st := cell.Bus.Stats()
+			fmt.Printf("[status] members=%d published=%d delivered=%d quenches=%d denied=%d\n",
+				len(members), st.Published, st.EnqueuedRemote+st.DeliveredLocal,
+				st.Quenches, st.AuthDenied)
+		}
+	}
+}

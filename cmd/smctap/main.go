@@ -1,0 +1,115 @@
+// Command smctap joins a running cell as a generic member and prints
+// every event matching a content filter — the observation tool for a
+// live SMC (think tcpdump for the event bus).
+//
+// Usage:
+//
+//	smctap -cell ward-3 -secret s3cret -discovery <id from smcd> \
+//	       -filter 'type = "alarm" && severity >= 2'
+//
+// The filter syntax is the Ponder-lite constraint grammar (see
+// internal/policy); an empty filter taps everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/policy"
+	"github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseFilter reuses the policy parser's constraint grammar by
+// wrapping the expression in a throwaway obligation.
+func parseFilter(expr string) (*event.Filter, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return event.NewFilter(), nil
+	}
+	src := "obligation tap { on " + expr + ` do log("") }`
+	f, err := policy.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("bad filter expression: %w", err)
+	}
+	return f.Obligations[0].On, nil
+}
+
+func run() error {
+	var (
+		cellName = flag.String("cell", "smc-cell", "cell to join")
+		secret   = flag.String("secret", "change-me", "shared admission secret")
+		discStr  = flag.String("discovery", "", "discovery service ID (from smcd); empty waits for beacons")
+		filterEx = flag.String("filter", "", `constraint expression, e.g. 'type = "alarm" && severity >= 2'; empty taps everything`)
+		name     = flag.String("name", "smctap", "device name in the cell")
+	)
+	flag.Parse()
+
+	filter, err := parseFilter(*filterEx)
+	if err != nil {
+		return err
+	}
+
+	tr, err := transport.NewUDPTransport()
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	var discID ident.ID
+	if *discStr != "" {
+		if discID, err = ident.Parse(*discStr); err != nil {
+			return fmt.Errorf("discovery ID: %w", err)
+		}
+	}
+
+	dev, err := smc.JoinCell(tr, smc.DeviceConfig{
+		Type: "generic", Name: *name, Secret: []byte(*secret),
+		Cell: *cellName, Discovery: discID,
+	})
+	if err != nil {
+		return fmt.Errorf("join: %w", err)
+	}
+	if err := dev.Client.Subscribe(filter); err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	fmt.Printf("tapping cell %q with %s\n", dev.Join.Cell, filter)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	count := 0
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("\n%d events observed\n", count)
+			return dev.Leave()
+		case e := <-dev.Client.Events():
+			count++
+			fmt.Printf("%s %s", time.Now().Format("15:04:05.000"), renderEvent(e))
+		}
+	}
+}
+
+// renderEvent prints one event as a single line.
+func renderEvent(e *event.Event) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s #%d]", e.Sender, e.Seq)
+	e.Range(func(name string, v event.Value) bool {
+		fmt.Fprintf(&sb, " %s=%s", name, v)
+		return true
+	})
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/amuse/smc/internal/bootstrap"
+	"github.com/amuse/smc/internal/bus"
+	"github.com/amuse/smc/internal/client"
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/matcher"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/reliable"
+)
+
+// Event shape used by the measurement workloads: one "bench" event
+// carrying an opaque payload, mirroring the paper's variable-size
+// messages.
+const (
+	benchType    = "bench"
+	payloadAttr  = "payload"
+	benchBusAddr = 0xB100
+)
+
+// relConfig is tuned for the simulated wireless profiles: short
+// retries, generous budget.
+func relConfig() reliable.Config {
+	return reliable.Config{
+		RetryTimeout:    60 * time.Millisecond,
+		MaxRetryTimeout: 400 * time.Millisecond,
+		MaxRetries:      12,
+		QueueDepth:      8192,
+	}
+}
+
+// Env is one benchmark deployment: a bus of the given flavour on a
+// simulated link, one publisher and N subscribers, all admitted as
+// members (discovery is exercised elsewhere; measurement uses direct
+// admission so that only the publish path is timed).
+type Env struct {
+	Flavor Flavor
+	Net    *netsim.Network
+	Bus    *bus.Bus
+	Pub    *client.Client
+	Subs   []*client.Client
+}
+
+// EnvConfig parameterises NewEnv.
+type EnvConfig struct {
+	Link        netsim.Profile
+	Subscribers int
+	Quench      bool
+	Seed        int64
+	// SubscribeAll: when false, subscribers are members but install
+	// no filters (the quench workload).
+	NoSubscriptions bool
+}
+
+// NewEnv builds the deployment. Close it when done.
+func NewEnv(flavor Flavor, cfg EnvConfig) (*Env, error) {
+	if cfg.Subscribers <= 0 {
+		cfg.Subscribers = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	net := netsim.New(cfg.Link, netsim.WithSeed(cfg.Seed))
+
+	busTr, err := net.Attach(ident.New(benchBusAddr))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	m, err := matcher.New(flavor.Matcher)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	opts := []bus.Option{bus.WithCost(flavor.Cost), bus.WithQueueDepth(8192)}
+	if cfg.Quench {
+		opts = append(opts, bus.WithQuench(true))
+	}
+	b := bus.New(reliable.New(busTr, relConfig()), m, bootstrap.NewRegistry(), opts...)
+	b.Start()
+
+	env := &Env{Flavor: flavor, Net: net, Bus: b}
+
+	mkClient := func(addr uint64, name string) (*client.Client, error) {
+		tr, err := net.Attach(ident.New(addr))
+		if err != nil {
+			return nil, err
+		}
+		if err := b.AddMember(ident.New(addr), "generic", name); err != nil {
+			return nil, err
+		}
+		return client.New(reliable.New(tr, relConfig()), b.ID()), nil
+	}
+
+	env.Pub, err = mkClient(0x1, "publisher")
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.Subscribers; i++ {
+		sub, err := mkClient(uint64(0x100+i), fmt.Sprintf("subscriber-%d", i))
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		if !cfg.NoSubscriptions {
+			if err := sub.Subscribe(event.NewFilter().WhereType(benchType)); err != nil {
+				env.Close()
+				return nil, err
+			}
+		}
+		env.Subs = append(env.Subs, sub)
+	}
+	return env, nil
+}
+
+// Close tears the deployment down.
+func (e *Env) Close() {
+	if e.Pub != nil {
+		e.Pub.Close()
+	}
+	for _, s := range e.Subs {
+		s.Close()
+	}
+	if e.Bus != nil {
+		e.Bus.Close()
+	}
+	if e.Net != nil {
+		e.Net.Close()
+	}
+}
+
+// benchEvent builds a bench event with an opaque payload of n bytes.
+func benchEvent(n int) *event.Event {
+	return event.NewTyped(benchType).SetBytes(payloadAttr, make([]byte, n))
+}
+
+// PublishAndWait publishes one event with the given payload size and
+// blocks until every subscriber has received it, returning the elapsed
+// end-to-end response time — Figure 4(a)'s measurand.
+func (e *Env) PublishAndWait(payload int, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	if err := e.Pub.Publish(benchEvent(payload)); err != nil {
+		return 0, fmt.Errorf("publish: %w", err)
+	}
+	for _, s := range e.Subs {
+		if _, err := s.NextEvent(timeout); err != nil {
+			return 0, fmt.Errorf("subscriber wait: %w", err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Throughput streams events of the given payload size for roughly the
+// given duration with a small application-level window (the publisher
+// keeps at most `window` events in flight), and returns the payload
+// throughput observed at the first subscriber in bytes/second —
+// Figure 4(b)'s measurand.
+func (e *Env) Throughput(payload int, duration time.Duration, window int) (float64, int, error) {
+	if window <= 0 {
+		window = 4
+	}
+	sub := e.Subs[0]
+	var (
+		sent, recvd int
+		start       = time.Now()
+	)
+	for time.Since(start) < duration {
+		for sent-recvd < window && time.Since(start) < duration {
+			if err := e.Pub.Publish(benchEvent(payload)); err != nil {
+				return 0, recvd, fmt.Errorf("publish %d: %w", sent, err)
+			}
+			sent++
+		}
+		if sent == recvd {
+			continue
+		}
+		if _, err := sub.NextEvent(10 * time.Second); err != nil {
+			return 0, recvd, fmt.Errorf("receive %d: %w", recvd, err)
+		}
+		recvd++
+	}
+	// Drain what is still in flight so the numbers are exact.
+	for recvd < sent {
+		if _, err := sub.NextEvent(10 * time.Second); err != nil {
+			return 0, recvd, fmt.Errorf("drain %d: %w", recvd, err)
+		}
+		recvd++
+	}
+	elapsed := time.Since(start)
+	bytesDelivered := float64(recvd) * float64(payload)
+	return bytesDelivered / elapsed.Seconds(), recvd, nil
+}

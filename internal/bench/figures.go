@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/netsim"
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Result is one regenerated figure: a set of series sharing axes.
+type Result struct {
+	Figure string
+	Series []Series
+}
+
+// Fprint renders the result as an aligned text table, one row per X,
+// one column per series — the same rows the paper's figures plot.
+func (r Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", r.Figure)
+	if len(r.Series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s", r.Series[0].XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  %20s", s.Name)
+	}
+	fmt.Fprintf(w, "   (%s)\n", r.Series[0].YLabel)
+
+	xs := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		fmt.Fprintf(w, "%-12.0f", x)
+		for _, s := range r.Series {
+			y, ok := lookup(s.Points, x)
+			if ok {
+				fmt.Fprintf(w, "  %20.2f", y)
+			} else {
+				fmt.Fprintf(w, "  %20s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func lookup(pts []Point, x float64) (float64, bool) {
+	for _, p := range pts {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Fig4aPayloads are the payload sizes of Figure 4(a) (0–5000 bytes).
+var Fig4aPayloads = []int{0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000}
+
+// Fig4bPayloads are the payload sizes of Figure 4(b) (0–3000 bytes).
+var Fig4bPayloads = []int{250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2250, 2500, 2750, 3000}
+
+// Options tunes the sweeps (iterations per point / stream durations);
+// Quick returns a configuration suitable for CI, Full for figures.
+type Options struct {
+	Iterations     int           // response-time samples per payload
+	StreamDuration time.Duration // throughput stream length per payload
+	Link           netsim.Profile
+}
+
+// Quick is a fast sweep (seconds); Full matches the paper's fidelity.
+func Quick() Options {
+	return Options{Iterations: 3, StreamDuration: 1 * time.Second, Link: netsim.USBLink}
+}
+
+// Full is the figure-quality sweep.
+func Full() Options {
+	return Options{Iterations: 10, StreamDuration: 4 * time.Second, Link: netsim.USBLink}
+}
+
+// Fig4aResponseTime regenerates Figure 4(a): end-to-end delay (ms)
+// against payload size (bytes) for both buses.
+func Fig4aResponseTime(opt Options) (Result, error) {
+	res := Result{Figure: "Figure 4(a): response time (ms) vs payload size (bytes)"}
+	for _, flavor := range Flavors() {
+		env, err := NewEnv(flavor, EnvConfig{Link: opt.Link, Subscribers: 1})
+		if err != nil {
+			return res, err
+		}
+		s := Series{Name: flavor.Name, XLabel: "payload(B)", YLabel: "ms"}
+		for _, size := range Fig4aPayloads {
+			// One warmup, then timed samples.
+			if _, err := env.PublishAndWait(size, 30*time.Second); err != nil {
+				env.Close()
+				return res, fmt.Errorf("%s warmup %dB: %w", flavor.Name, size, err)
+			}
+			var total time.Duration
+			for i := 0; i < opt.Iterations; i++ {
+				d, err := env.PublishAndWait(size, 30*time.Second)
+				if err != nil {
+					env.Close()
+					return res, fmt.Errorf("%s %dB: %w", flavor.Name, size, err)
+				}
+				total += d
+			}
+			avg := total / time.Duration(opt.Iterations)
+			s.Points = append(s.Points, Point{X: float64(size), Y: float64(avg) / float64(time.Millisecond)})
+		}
+		env.Close()
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig4bThroughput regenerates Figure 4(b): payload throughput (KB/s)
+// against payload size (bytes) for both buses.
+func Fig4bThroughput(opt Options) (Result, error) {
+	res := Result{Figure: "Figure 4(b): throughput (KB/s) vs payload size (bytes)"}
+	for _, flavor := range Flavors() {
+		env, err := NewEnv(flavor, EnvConfig{Link: opt.Link, Subscribers: 1})
+		if err != nil {
+			return res, err
+		}
+		s := Series{Name: flavor.Name, XLabel: "payload(B)", YLabel: "KB/s"}
+		for _, size := range Fig4bPayloads {
+			bps, _, err := env.Throughput(size, opt.StreamDuration, 4)
+			if err != nil {
+				env.Close()
+				return res, fmt.Errorf("%s %dB: %w", flavor.Name, size, err)
+			}
+			s.Points = append(s.Points, Point{X: float64(size), Y: bps / 1024})
+		}
+		env.Close()
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// LinkBaseline reproduces the §V in-text calibration numbers: the raw
+// link sustains ≈575 KB/s and ≈1.5 ms latency (0.6–2.3 ms) with no bus
+// in the path.
+func LinkBaseline(opt Options) (Result, error) {
+	res := Result{Figure: "Link baseline (§V in-text): raw link, no event bus"}
+	net := netsim.New(opt.Link, netsim.WithSeed(7))
+	defer net.Close()
+	a, err := net.Attach(ident.New(1))
+	if err != nil {
+		return res, err
+	}
+	b, err := net.Attach(ident.New(2))
+	if err != nil {
+		return res, err
+	}
+
+	// Latency: tiny datagrams one at a time.
+	lat := Series{Name: "one-way-latency", XLabel: "sample", YLabel: "ms"}
+	var minL, maxL, sumL time.Duration
+	const latSamples = 40
+	for i := 0; i < latSamples; i++ {
+		start := time.Now()
+		if err := a.Send(b.LocalID(), []byte{1}); err != nil {
+			return res, err
+		}
+		if _, err := b.RecvTimeout(5 * time.Second); err != nil {
+			return res, err
+		}
+		d := time.Since(start)
+		if i == 0 || d < minL {
+			minL = d
+		}
+		if d > maxL {
+			maxL = d
+		}
+		sumL += d
+	}
+	lat.Points = append(lat.Points,
+		Point{X: 0, Y: float64(minL) / float64(time.Millisecond)},
+		Point{X: 1, Y: float64(sumL/latSamples) / float64(time.Millisecond)},
+		Point{X: 2, Y: float64(maxL) / float64(time.Millisecond)},
+	)
+
+	// Raw throughput: transfer a fixed byte budget of 4 KB datagrams
+	// and time the whole transfer at the receiver.
+	thr := Series{Name: "raw-throughput", XLabel: "payload(B)", YLabel: "KB/s"}
+	const chunk = 4096
+	chunks := int(opt.StreamDuration.Seconds() * 600 * 1024 / chunk) // ≈ link-rate worth
+	if chunks < 16 {
+		chunks = 16
+	}
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < chunks; i++ {
+			if _, err := b.RecvTimeout(10 * time.Second); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	payload := make([]byte, chunk)
+	for i := 0; i < chunks; i++ {
+		if err := a.Send(b.LocalID(), payload); err != nil {
+			return res, err
+		}
+	}
+	if err := <-errCh; err != nil {
+		return res, err
+	}
+	elapsed := time.Since(start)
+	thr.Points = append(thr.Points, Point{
+		X: chunk,
+		Y: float64(chunks) * chunk / 1024 / elapsed.Seconds(),
+	})
+
+	res.Series = append(res.Series, lat, thr)
+	return res, nil
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/netsim"
+)
+
+// quickOpt keeps the shape tests fast: the trends under test do not
+// need many samples.
+func quickOpt() Options {
+	return Options{
+		Iterations:     2,
+		StreamDuration: 600 * time.Millisecond,
+		Link:           netsim.USBLink,
+	}
+}
+
+func seriesByName(r Result, name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// TestFig4aShape checks the properties the paper's Figure 4(a)
+// establishes: the C-based bus responds faster than the Siena-based
+// bus at every payload size, and both curves grow with payload size.
+func TestFig4aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short")
+	}
+	res, err := Fig4aResponseTime(quickOpt())
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	siena := seriesByName(res, SienaFlavor.Name)
+	fast := seriesByName(res, FastFlavor.Name)
+	if siena == nil || fast == nil {
+		t.Fatal("missing series")
+	}
+	if len(siena.Points) != len(Fig4aPayloads) || len(fast.Points) != len(Fig4aPayloads) {
+		t.Fatalf("points = %d/%d", len(siena.Points), len(fast.Points))
+	}
+	for i := range siena.Points {
+		if siena.Points[i].Y <= fast.Points[i].Y {
+			t.Errorf("at %v B: siena %.1f ms ≤ c-based %.1f ms (ordering inverted)",
+				siena.Points[i].X, siena.Points[i].Y, fast.Points[i].Y)
+		}
+	}
+	// Growth with payload: the largest payload must be distinctly
+	// slower than the smallest for both buses.
+	for _, s := range []*Series{siena, fast} {
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last < first*2 {
+			t.Errorf("%s: response time barely grows (%.1f → %.1f ms)", s.Name, first, last)
+		}
+	}
+	// Envelope: the paper's Siena bus peaks around 550 ms at 5000 B;
+	// accept a generous band.
+	peak := siena.Points[len(siena.Points)-1].Y
+	if peak < 250 || peak > 1100 {
+		t.Errorf("siena peak response = %.1f ms, outside calibration band", peak)
+	}
+}
+
+// TestFig4bShape checks Figure 4(b)'s properties: the C-based bus
+// sustains higher throughput than the Siena-based bus, throughput
+// grows with payload size, and both sit far below the raw link
+// (≈575 KB/s).
+func TestFig4bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short")
+	}
+	opt := quickOpt()
+	// A reduced payload grid keeps the test quick while preserving
+	// the trend.
+	payloads := []int{250, 1000, 2000, 3000}
+	old := Fig4bPayloads
+	Fig4bPayloads = payloads
+	defer func() { Fig4bPayloads = old }()
+
+	res, err := Fig4bThroughput(opt)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	siena := seriesByName(res, SienaFlavor.Name)
+	fast := seriesByName(res, FastFlavor.Name)
+	if siena == nil || fast == nil {
+		t.Fatal("missing series")
+	}
+	for i := range siena.Points {
+		if fast.Points[i].Y <= siena.Points[i].Y {
+			t.Errorf("at %v B: c-based %.2f KB/s ≤ siena %.2f KB/s",
+				fast.Points[i].X, fast.Points[i].Y, siena.Points[i].Y)
+		}
+	}
+	for _, s := range []*Series{siena, fast} {
+		if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+			t.Errorf("%s: throughput does not grow with payload", s.Name)
+		}
+		peak := s.Points[len(s.Points)-1].Y
+		if peak > 60 {
+			t.Errorf("%s peak %.1f KB/s — not an order of magnitude below the 575 KB/s link", s.Name, peak)
+		}
+		if peak < 2 {
+			t.Errorf("%s peak %.1f KB/s — implausibly slow", s.Name, peak)
+		}
+	}
+}
+
+func TestLinkBaselineMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	opt := quickOpt()
+	res, err := LinkBaseline(opt)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	lat := seriesByName(res, "one-way-latency")
+	thr := seriesByName(res, "raw-throughput")
+	if lat == nil || thr == nil {
+		t.Fatal("missing series")
+	}
+	avg := lat.Points[1].Y
+	if avg < 0.5 || avg > 3.0 {
+		t.Errorf("avg latency %.2f ms, paper says ≈1.5 ms", avg)
+	}
+	raw := thr.Points[0].Y
+	if raw < 400 || raw > 700 {
+		t.Errorf("raw throughput %.0f KB/s, paper says ≈575 KB/s", raw)
+	}
+}
+
+func TestAblationFanoutGrowsWithRecipients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	opt := quickOpt()
+	opt.Iterations = 1
+	old := FanoutCounts
+	FanoutCounts = []int{1, 4, 8}
+	defer func() { FanoutCounts = old }()
+
+	res, err := AblationFanout(opt)
+	if err != nil {
+		t.Fatalf("fanout: %v", err)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s points = %d", s.Name, len(s.Points))
+		}
+		if s.Points[2].Y <= s.Points[0].Y {
+			t.Errorf("%s: delay with 8 subscribers (%.1f ms) not above 1 subscriber (%.1f ms)",
+				s.Name, s.Points[2].Y, s.Points[0].Y)
+		}
+	}
+}
+
+func TestAblationQuenchSavesTransmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	res, err := AblationQuench(quickOpt())
+	if err != nil {
+		t.Fatalf("quench: %v", err)
+	}
+	off := seriesByName(res, "quench-off")
+	on := seriesByName(res, "quench-on")
+	if off == nil || on == nil {
+		t.Fatal("missing series")
+	}
+	if on.Points[0].Y >= off.Points[0].Y {
+		t.Errorf("quench-on transmitted %.0f, quench-off %.0f — no saving", on.Points[0].Y, off.Points[0].Y)
+	}
+	if on.Points[1].Y == 0 {
+		t.Error("no suppressed publishes recorded with quench on")
+	}
+}
+
+func TestAblationRedeliveryLosesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	res, err := AblationRedelivery(quickOpt())
+	if err != nil {
+		t.Fatalf("redelivery: %v", err)
+	}
+	s := res.Series[0]
+	published, delivered := s.Points[0].Y, s.Points[1].Y
+	if delivered != published {
+		t.Errorf("delivered %.0f of %.0f", delivered, published)
+	}
+}
+
+func TestResultFprint(t *testing.T) {
+	r := Result{
+		Figure: "demo",
+		Series: []Series{
+			{Name: "a", XLabel: "x", YLabel: "y", Points: []Point{{0, 1}, {10, 2}}},
+			{Name: "b", XLabel: "x", YLabel: "y", Points: []Point{{0, 3}}},
+		},
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"# demo", "a", "b", "1.00", "3.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty result doesn't panic.
+	var empty bytes.Buffer
+	Result{Figure: "empty"}.Fprint(&empty)
+}
+
+func TestMatcherWorkloadDeterministic(t *testing.T) {
+	a, b := NewMatcherWorkload(50), NewMatcherWorkload(50)
+	if len(a.Filters) != 50 || len(a.Events) != 64 {
+		t.Fatalf("sizes = %d/%d", len(a.Filters), len(a.Events))
+	}
+	for i := range a.Filters {
+		if !a.Filters[i].Equal(b.Filters[i]) {
+			t.Fatal("workload filters not deterministic")
+		}
+	}
+	for i := range a.Events {
+		if !a.Events[i].Equal(b.Events[i]) {
+			t.Fatal("workload events not deterministic")
+		}
+	}
+}

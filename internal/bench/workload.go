@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+)
+
+// Management-traffic workload generator: the mix of traffic an SMC
+// actually carries (§II-C: "the event bus ... is devoted to management
+// traffic related to a small set of sensors over a patient's body") —
+// mostly small periodic readings, occasional alarms, rare membership
+// and policy-control events. Used by the end-to-end workload benchmark
+// and reusable by integration tests.
+
+// TrafficClass labels one generated event's role.
+type TrafficClass int
+
+// Traffic classes in a management workload.
+const (
+	ClassReading TrafficClass = iota + 1
+	ClassAlarm
+	ClassMembership
+	ClassControl
+)
+
+// String names the class.
+func (c TrafficClass) String() string {
+	switch c {
+	case ClassReading:
+		return "reading"
+	case ClassAlarm:
+		return "alarm"
+	case ClassMembership:
+		return "membership"
+	case ClassControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkloadMix sets the proportions of each class (weights; they need
+// not sum to anything particular).
+type WorkloadMix struct {
+	Readings   int
+	Alarms     int
+	Membership int
+	Control    int
+}
+
+// DefaultMix reflects a monitoring cell: overwhelmingly readings,
+// a few alarms, rare membership/control traffic.
+func DefaultMix() WorkloadMix {
+	return WorkloadMix{Readings: 90, Alarms: 5, Membership: 3, Control: 2}
+}
+
+// Workload deterministically generates a stream of management events.
+type Workload struct {
+	mix    WorkloadMix
+	rng    *rand.Rand
+	seq    int
+	joined []string
+}
+
+// NewWorkload builds a generator with the given mix and seed.
+func NewWorkload(mix WorkloadMix, seed int64) *Workload {
+	return &Workload{
+		mix: mix,
+		rng: rand.New(rand.NewSource(seed)),
+		joined: []string{
+			"hr-1", "spo2-1", "temp-1", "bp-1",
+		},
+	}
+}
+
+// Next generates the next event and its class.
+func (w *Workload) Next() (*event.Event, TrafficClass) {
+	w.seq++
+	total := w.mix.Readings + w.mix.Alarms + w.mix.Membership + w.mix.Control
+	if total <= 0 {
+		total = 1
+	}
+	pick := w.rng.Intn(total)
+	switch {
+	case pick < w.mix.Readings:
+		return w.reading(), ClassReading
+	case pick < w.mix.Readings+w.mix.Alarms:
+		return w.alarm(), ClassAlarm
+	case pick < w.mix.Readings+w.mix.Alarms+w.mix.Membership:
+		return w.membership(), ClassMembership
+	default:
+		return w.control(), ClassControl
+	}
+}
+
+func (w *Workload) reading() *event.Event {
+	kinds := []struct {
+		kind, unit     string
+		base, spread   float64
+		deviceTypeName string
+	}{
+		{"heart-rate", "bpm", 72, 20, "hr-sensor"},
+		{"spo2", "%", 97, 3, "spo2-sensor"},
+		{"temperature", "degC", 36.9, 0.6, "temp-sensor"},
+		{"bp-systolic", "mmHg", 118, 18, "bp-sensor"},
+	}
+	k := kinds[w.rng.Intn(len(kinds))]
+	e := event.NewTyped("reading").
+		SetStr("kind", k.kind).
+		SetStr("unit", k.unit).
+		Set(event.AttrDeviceType, event.Str(k.deviceTypeName)).
+		SetFloat("value", k.base+(w.rng.Float64()*2-1)*k.spread).
+		SetInt("seq", int64(w.seq))
+	e.Stamp = time.Unix(0, int64(w.seq)*int64(time.Millisecond))
+	return e
+}
+
+func (w *Workload) alarm() *event.Event {
+	sources := []string{"hr", "spo2", "temp", "bp"}
+	return event.NewTyped("alarm").
+		SetStr("source", sources[w.rng.Intn(len(sources))]).
+		SetInt("severity", int64(1+w.rng.Intn(3))).
+		SetInt("seq", int64(w.seq))
+}
+
+func (w *Workload) membership() *event.Event {
+	dev := w.joined[w.rng.Intn(len(w.joined))]
+	class := event.TypeNewMember
+	if w.rng.Intn(2) == 0 {
+		class = event.TypePurgeMember
+	}
+	return event.NewTyped(class).
+		Set(event.AttrMember, event.Int(int64(w.rng.Intn(1<<16)))).
+		Set(event.AttrDeviceType, event.Str("generic")).
+		SetStr("name", dev)
+}
+
+func (w *Workload) control() *event.Event {
+	actions := []string{"set-threshold", "enable-policy", "disable-policy", "report"}
+	return event.NewTyped("control").
+		SetStr("action", actions[w.rng.Intn(len(actions))]).
+		SetStr("target", fmt.Sprintf("policy-%d", w.rng.Intn(8))).
+		SetInt("seq", int64(w.seq))
+}
+
+// StandardSubscriptions returns the filters a typical monitoring
+// deployment installs against this workload: a vitals dashboard, an
+// alarm pager, and a membership auditor.
+func StandardSubscriptions() []*event.Filter {
+	return []*event.Filter{
+		event.NewFilter().WhereType("reading"),
+		event.NewFilter().WhereType("alarm").
+			Where("severity", event.OpGe, event.Int(2)),
+		event.NewFilter().WhereType(event.TypeNewMember),
+		event.NewFilter().WhereType(event.TypePurgeMember),
+	}
+}

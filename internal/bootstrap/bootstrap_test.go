@@ -1,0 +1,89 @@
+package bootstrap
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/proxy"
+)
+
+type fakeDevice struct {
+	proxy.GenericDevice
+	member ident.ID
+	name   string
+}
+
+func TestRegistryMakeUsesFactory(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register("hr-sensor", func(member ident.ID, name string) proxy.Device {
+		return &fakeDevice{member: member, name: name}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := r.Make("hr-sensor", ident.New(7), "hr-1")
+	fd, ok := dev.(*fakeDevice)
+	if !ok {
+		t.Fatalf("got %T", dev)
+	}
+	if fd.member != ident.New(7) || fd.name != "hr-1" {
+		t.Errorf("factory args = %s %q", fd.member, fd.name)
+	}
+}
+
+func TestRegistryFallback(t *testing.T) {
+	r := NewRegistry()
+	dev := r.Make("unknown-type", ident.New(1), "x")
+	if _, ok := dev.(*proxy.GenericDevice); !ok {
+		t.Fatalf("fallback produced %T", dev)
+	}
+
+	r.SetFallback(func(member ident.ID, name string) proxy.Device {
+		return &fakeDevice{member: member}
+	})
+	if _, ok := r.Make("still-unknown", ident.New(2), "y").(*fakeDevice); !ok {
+		t.Error("custom fallback unused")
+	}
+	// nil fallback is ignored.
+	r.SetFallback(nil)
+	if _, ok := r.Make("still-unknown", ident.New(2), "y").(*fakeDevice); !ok {
+		t.Error("nil fallback replaced previous")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", func(ident.ID, string) proxy.Device { return nil }); err == nil {
+		t.Error("empty device type accepted")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestRegistryKnownAndTypes(t *testing.T) {
+	r := NewRegistry()
+	for _, dt := range []string{"a", "b", "c"} {
+		if err := r.Register(dt, func(ident.ID, string) proxy.Device { return &proxy.GenericDevice{} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Known("b") || r.Known("z") {
+		t.Error("Known wrong")
+	}
+	types := r.Types()
+	sort.Strings(types)
+	if len(types) != 3 || types[0] != "a" || types[2] != "c" {
+		t.Errorf("Types = %v", types)
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register("t", func(ident.ID, string) proxy.Device { return &proxy.GenericDevice{Type: "v1"} })
+	_ = r.Register("t", func(ident.ID, string) proxy.Device { return &proxy.GenericDevice{Type: "v2"} })
+	if dev := r.Make("t", 1, ""); dev.DeviceType() != "v2" {
+		t.Errorf("got %s", dev.DeviceType())
+	}
+}

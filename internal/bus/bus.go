@@ -1,0 +1,604 @@
+// Package bus implements the SMC event bus (§III): a content-based
+// publish/subscribe service with the delivery semantics of §II-C
+// layered on top of a pluggable matching mechanism.
+//
+// The bus receives events from member services over the reliable
+// channel (every hop acknowledged), matches them against installed
+// subscriptions, and hands matching events to each subscriber's proxy,
+// whose FIFO queue and resend logic maintain the ordering constraint
+// and persistent delivery. Core services co-located with the bus
+// (discovery, policy, bootstrap) attach as local services without
+// crossing the network.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/amuse/smc/internal/bootstrap"
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/matcher"
+	"github.com/amuse/smc/internal/proxy"
+	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/wire"
+)
+
+var (
+	// ErrClosed reports use of a closed bus.
+	ErrClosed = errors.New("bus: closed")
+	// ErrBusy reports a full processing queue (bounded memory).
+	ErrBusy = errors.New("bus: processing queue full")
+	// ErrNotMember reports traffic from a service that is not a
+	// member of the SMC.
+	ErrNotMember = errors.New("bus: not a member")
+	// ErrUnauthorized reports a publish or subscribe denied by the
+	// authorisation policy.
+	ErrUnauthorized = errors.New("bus: unauthorized")
+)
+
+// Handler consumes events delivered to a local service.
+type Handler func(e *event.Event)
+
+// Authorizer is consulted before member publishes and subscriptions
+// are accepted; the policy service implements it (§II-A authorisation
+// policies). A nil Authorizer admits everything.
+type Authorizer interface {
+	AuthorizePublish(member ident.ID, deviceType string, e *event.Event) error
+	AuthorizeSubscribe(member ident.ID, deviceType string, f *event.Filter) error
+}
+
+// Cost models the processing overhead of the constrained host (the
+// paper's PDA with a 2006-era JVM): a fixed cost per packet plus a
+// per-byte cost for copies and OS↔runtime transfers (§V attributes the
+// observed response-time growth to packet-data copying). Zero costs
+// disable the model; benchmarks calibrate it per bus flavour as
+// documented in EXPERIMENTS.md.
+type Cost struct {
+	IngestPerEvent  time.Duration
+	DeliverPerEvent time.Duration
+	PerByte         time.Duration
+}
+
+// enabled reports whether any cost is configured.
+func (c Cost) enabled() bool {
+	return c.IngestPerEvent > 0 || c.DeliverPerEvent > 0 || c.PerByte > 0
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	Published       uint64
+	Matched         uint64
+	NoMatch         uint64
+	DeliveredLocal  uint64
+	EnqueuedRemote  uint64
+	Quenches        uint64
+	Unquenches      uint64
+	AuthDenied      uint64
+	NonMember       uint64
+	BadPackets      uint64
+	Subscriptions   uint64
+	Unsubscriptions uint64
+}
+
+// Option configures a Bus.
+type Option func(*Bus)
+
+// WithAuthorizer installs an authorisation hook.
+func WithAuthorizer(a Authorizer) Option {
+	return func(b *Bus) { b.auth = a }
+}
+
+// WithCost installs a host processing-cost model.
+func WithCost(c Cost) Option {
+	return func(b *Bus) { b.cost = c }
+}
+
+// WithQuench enables publisher quenching (§VI): publishers whose events
+// currently match no subscription are told to stop sending.
+func WithQuench(on bool) Option {
+	return func(b *Bus) { b.quenchOn = on }
+}
+
+// WithProxyConfig overrides proxy queue/redelivery tuning.
+func WithProxyConfig(cfg proxy.Config) Option {
+	return func(b *Bus) { b.proxyCfg = cfg }
+}
+
+// WithQueueDepth sets the central processing queue depth.
+func WithQueueDepth(n int) Option {
+	return func(b *Bus) {
+		if n > 0 {
+			b.queueDepth = n
+		}
+	}
+}
+
+// Bus is the event bus.
+type Bus struct {
+	ch       *reliable.Channel
+	match    matcher.Matcher
+	registry *bootstrap.Registry
+
+	auth       Authorizer
+	cost       Cost
+	quenchOn   bool
+	proxyCfg   proxy.Config
+	queueDepth int
+
+	mu       sync.Mutex
+	members  map[ident.ID]*memberState
+	locals   map[ident.ID]*LocalService
+	quenched map[ident.ID]bool
+	extra    []*reliable.Channel
+	nextLoc  uint64
+	stats    Stats
+	closed   bool
+
+	work chan workItem
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type memberState struct {
+	deviceType string
+	px         *proxy.Proxy
+}
+
+type workItem struct {
+	e    *event.Event
+	size int // encoded size, for the cost model
+}
+
+// New builds a bus over a reliable channel with the given matching
+// mechanism and proxy factory registry. The bus owns the channel and
+// closes it on Close. Call Start to begin processing.
+func New(ch *reliable.Channel, m matcher.Matcher, reg *bootstrap.Registry, opts ...Option) *Bus {
+	b := &Bus{
+		ch:         ch,
+		match:      m,
+		registry:   reg,
+		proxyCfg:   proxy.DefaultConfig(),
+		queueDepth: 4096,
+		members:    make(map[ident.ID]*memberState),
+		locals:     make(map[ident.ID]*LocalService),
+		quenched:   make(map[ident.ID]bool),
+		done:       make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	b.work = make(chan workItem, b.queueDepth)
+	return b
+}
+
+// ID returns the bus's service ID on the network.
+func (b *Bus) ID() ident.ID { return b.ch.LocalID() }
+
+// SetAuthorizer installs the authorisation hook. It must be called
+// before Start (the policy engine is constructed on top of the bus, so
+// it cannot be passed to New).
+func (b *Bus) SetAuthorizer(a Authorizer) { b.auth = a }
+
+// MatcherName reports the active matching mechanism.
+func (b *Bus) MatcherName() string { return b.match.Name() }
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Start launches the receive and processing loops.
+func (b *Bus) Start() {
+	b.wg.Add(2)
+	go func() {
+		defer b.wg.Done()
+		b.recvFrom(b.ch)
+	}()
+	go b.processLoop()
+}
+
+// AttachChannel routes packets arriving on an additional reliable
+// channel into the bus. This realises §III-B's note that "a proxy
+// would be able to generate its own transport layer to facilitate
+// communication over a different network transport" — e.g. a
+// diagnostic device connected to the SMC via an Ethernet segment while
+// the body sensors use the wireless one. The bus owns the channel from
+// here on and closes it on Close. Call before or after Start, but
+// before traffic is expected on the channel.
+func (b *Bus) AttachChannel(ch *reliable.Channel) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = ch.Close()
+		return
+	}
+	b.extra = append(b.extra, ch)
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.recvFrom(ch)
+	}()
+}
+
+// AddMemberVia admits a member whose proxy sends through a dedicated
+// channel instead of the bus's main endpoint (per-proxy transport,
+// §III-B). The channel must have been attached with AttachChannel for
+// the member's inbound traffic to reach the bus.
+func (b *Bus) AddMemberVia(id ident.ID, deviceType, name string, via proxy.Sender) error {
+	return b.addMember(id, deviceType, name, via)
+}
+
+// Close shuts the bus down: the channel closes, loops drain, and every
+// proxy is purged.
+func (b *Bus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	members := make([]*memberState, 0, len(b.members))
+	for _, ms := range b.members {
+		members = append(members, ms)
+	}
+	b.members = make(map[ident.ID]*memberState)
+	extra := b.extra
+	b.extra = nil
+	b.mu.Unlock()
+
+	err := b.ch.Close()
+	for _, ch := range extra {
+		_ = ch.Close()
+	}
+	close(b.done)
+	b.wg.Wait()
+	for _, ms := range members {
+		ms.px.Purge()
+	}
+	return err
+}
+
+// ---- membership ----
+
+// AddMember admits a service: a proxy of the appropriate concrete type
+// is created via the bootstrap registry (§III-C), started, and its
+// initial subscriptions installed.
+func (b *Bus) AddMember(id ident.ID, deviceType, name string) error {
+	return b.addMember(id, deviceType, name, b.ch)
+}
+
+func (b *Bus) addMember(id ident.ID, deviceType, name string, via proxy.Sender) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := b.members[id]; dup {
+		b.mu.Unlock()
+		return fmt.Errorf("bus: member %s already present", id)
+	}
+	dev := b.registry.Make(deviceType, id, name)
+	px := proxy.New(id, dev, via, func(e *event.Event) error {
+		return b.enqueuePublish(e)
+	}, b.proxyCfg)
+	b.members[id] = &memberState{deviceType: deviceType, px: px}
+	b.mu.Unlock()
+
+	px.Start()
+	for _, f := range px.InitialSubscriptions() {
+		if err := b.match.Subscribe(id, f); err != nil {
+			return fmt.Errorf("bus: initial subscription for %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// RemoveMember purges a member: subscriptions are removed, the proxy
+// destroys itself discarding queued deliveries, and reliability state
+// is forgotten so a returning device starts a clean stream.
+func (b *Bus) RemoveMember(id ident.ID) {
+	b.mu.Lock()
+	ms, ok := b.members[id]
+	if ok {
+		delete(b.members, id)
+	}
+	delete(b.quenched, id)
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	b.match.UnsubscribeAll(id)
+	ms.px.Purge()
+	b.ch.Forget(id)
+}
+
+// Members lists current member IDs.
+func (b *Bus) Members() []ident.ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ident.ID, 0, len(b.members))
+	for id := range b.members {
+		out = append(out, id)
+	}
+	return out
+}
+
+// MemberProxy exposes a member's proxy (nil when absent); used by
+// integration tests and stats collection.
+func (b *Bus) MemberProxy(id ident.ID) *proxy.Proxy {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ms, ok := b.members[id]
+	if !ok {
+		return nil
+	}
+	return ms.px
+}
+
+func (b *Bus) memberState(id ident.ID) (*memberState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ms, ok := b.members[id]
+	return ms, ok
+}
+
+// ---- publish path ----
+
+// enqueuePublish hands an event to the processor.
+func (b *Bus) enqueuePublish(e *event.Event) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.mu.Unlock()
+	item := workItem{e: e, size: wire.HeaderLen + len(wire.EncodeEvent(e))}
+	select {
+	case b.work <- item:
+		return nil
+	case <-b.done:
+		return ErrClosed
+	default:
+		return ErrBusy
+	}
+}
+
+func (b *Bus) recvFrom(ch *reliable.Channel) {
+	for {
+		pkt, err := ch.Recv()
+		if err != nil {
+			return
+		}
+		b.handlePacket(pkt)
+	}
+}
+
+func (b *Bus) handlePacket(pkt *wire.Packet) {
+	switch pkt.Type {
+	case wire.PktEvent:
+		b.handleEventPacket(pkt)
+	case wire.PktData:
+		b.handleDataPacket(pkt)
+	case wire.PktSubscribe, wire.PktUnsubscribe:
+		b.handleSubscriptionPacket(pkt)
+	default:
+		// Discovery/control traffic does not belong on the bus
+		// endpoint (the discovery protocol "does not use the event
+		// bus", §II-B).
+		b.bumpBad()
+	}
+}
+
+func (b *Bus) handleEventPacket(pkt *wire.Packet) {
+	ms, ok := b.memberState(pkt.Sender)
+	if !ok {
+		b.bumpNonMember()
+		return
+	}
+	e, err := wire.DecodeEvent(pkt.Payload)
+	if err != nil {
+		b.bumpBad()
+		return
+	}
+	// Anti-spoofing: a member's events carry its own identity, no
+	// matter what the payload claims.
+	e.Sender = pkt.Sender
+	if e.Seq == 0 {
+		e.Seq = pkt.Seq
+	}
+	if b.auth != nil {
+		if err := b.auth.AuthorizePublish(pkt.Sender, ms.deviceType, e); err != nil {
+			b.mu.Lock()
+			b.stats.AuthDenied++
+			b.mu.Unlock()
+			return
+		}
+	}
+	if err := b.enqueuePublish(e); err != nil {
+		b.bumpBad()
+	}
+}
+
+func (b *Bus) handleDataPacket(pkt *wire.Packet) {
+	ms, ok := b.memberState(pkt.Sender)
+	if !ok {
+		b.bumpNonMember()
+		return
+	}
+	// Raw device bytes: the member's proxy performs the
+	// pre-processing into fully fledged event objects (§III-B).
+	if err := ms.px.HandleInbound(pkt.Payload); err != nil {
+		b.bumpBad()
+	}
+}
+
+func (b *Bus) handleSubscriptionPacket(pkt *wire.Packet) {
+	ms, ok := b.memberState(pkt.Sender)
+	if !ok {
+		b.bumpNonMember()
+		return
+	}
+	f, err := wire.DecodeFilter(pkt.Payload)
+	if err != nil {
+		b.bumpBad()
+		return
+	}
+	if pkt.Type == wire.PktSubscribe {
+		if b.auth != nil {
+			if err := b.auth.AuthorizeSubscribe(pkt.Sender, ms.deviceType, f); err != nil {
+				b.mu.Lock()
+				b.stats.AuthDenied++
+				b.mu.Unlock()
+				return
+			}
+		}
+		if err := b.match.Subscribe(pkt.Sender, f); err != nil {
+			b.bumpBad()
+			return
+		}
+		b.mu.Lock()
+		b.stats.Subscriptions++
+		b.mu.Unlock()
+		b.unquenchAll()
+		return
+	}
+	if err := b.match.Unsubscribe(pkt.Sender, f); err == nil {
+		b.mu.Lock()
+		b.stats.Unsubscriptions++
+		b.mu.Unlock()
+	}
+}
+
+func (b *Bus) processLoop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case item := <-b.work:
+			b.process(item)
+		case <-b.done:
+			// Drain whatever is already queued, then stop.
+			for {
+				select {
+				case item := <-b.work:
+					b.process(item)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process matches one event and dispatches it to every interested
+// subscriber's proxy or local handler.
+func (b *Bus) process(item workItem) {
+	if b.cost.enabled() {
+		sleepCost(b.cost.IngestPerEvent + time.Duration(item.size)*b.cost.PerByte)
+	}
+	b.mu.Lock()
+	b.stats.Published++
+	b.mu.Unlock()
+
+	targets := b.match.Match(item.e)
+	if len(targets) == 0 {
+		b.mu.Lock()
+		b.stats.NoMatch++
+		b.mu.Unlock()
+		b.maybeQuench(item.e.Sender)
+		return
+	}
+	b.mu.Lock()
+	b.stats.Matched++
+	b.mu.Unlock()
+
+	for _, t := range targets {
+		if ls := b.localService(t); ls != nil {
+			ls.dispatch(item.e)
+			b.mu.Lock()
+			b.stats.DeliveredLocal++
+			b.mu.Unlock()
+			continue
+		}
+		ms, ok := b.memberState(t)
+		if !ok {
+			continue // purged between match and dispatch
+		}
+		if b.cost.enabled() {
+			sleepCost(b.cost.DeliverPerEvent + time.Duration(item.size)*b.cost.PerByte)
+		}
+		// Each subscriber gets its own copy: proxies may translate
+		// or queue independently.
+		ms.px.Enqueue(item.e.Clone())
+		b.mu.Lock()
+		b.stats.EnqueuedRemote++
+		b.mu.Unlock()
+	}
+}
+
+// ---- quenching (§VI) ----
+
+func (b *Bus) maybeQuench(sender ident.ID) {
+	if !b.quenchOn || sender.IsNil() {
+		return
+	}
+	b.mu.Lock()
+	_, isMember := b.members[sender]
+	already := b.quenched[sender]
+	if isMember && !already {
+		b.quenched[sender] = true
+		b.stats.Quenches++
+	}
+	b.mu.Unlock()
+	if isMember && !already {
+		_ = b.ch.SendUnreliable(sender, wire.PktQuench, nil)
+	}
+}
+
+func (b *Bus) unquenchAll() {
+	b.mu.Lock()
+	var ids []ident.ID
+	for id := range b.quenched {
+		ids = append(ids, id)
+		delete(b.quenched, id)
+	}
+	b.stats.Unquenches += uint64(len(ids))
+	b.mu.Unlock()
+	for _, id := range ids {
+		_ = b.ch.SendUnreliable(id, wire.PktUnquench, nil)
+	}
+}
+
+// ---- helpers ----
+
+func (b *Bus) bumpBad() {
+	b.mu.Lock()
+	b.stats.BadPackets++
+	b.mu.Unlock()
+}
+
+func (b *Bus) bumpNonMember() {
+	b.mu.Lock()
+	b.stats.NonMember++
+	b.mu.Unlock()
+}
+
+// sleepCost busy-waits for very short costs and sleeps for longer ones,
+// keeping the model usable at sub-millisecond calibrations.
+func sleepCost(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d < 500*time.Microsecond {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+		}
+		return
+	}
+	time.Sleep(d)
+}

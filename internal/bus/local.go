@@ -1,0 +1,122 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// LocalService is a core service co-located with the bus (discovery,
+// policy, bootstrap, monitoring UIs). Local services publish and
+// subscribe without crossing the network or the proxy layer, but share
+// the same matcher, so local and remote subscribers are matched
+// uniformly.
+type LocalService struct {
+	id   ident.ID
+	name string
+	b    *Bus
+
+	mu       sync.Mutex
+	handlers []localHandler
+	seq      uint64
+}
+
+type localHandler struct {
+	filter *event.Filter
+	fn     Handler
+}
+
+// localIDBase marks locally allocated service IDs: the top octet is
+// 0xFE, outside the address-derived ID space used by transports.
+const localIDBase = ident.ID(0xFE) << 40
+
+// Local registers (or returns) a local service with the given name.
+func (b *Bus) Local(name string) *LocalService {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ls := range b.locals {
+		if ls.name == name {
+			return ls
+		}
+	}
+	b.nextLoc++
+	id := localIDBase | ident.ID(b.nextLoc)
+	ls := &LocalService{id: id, name: name, b: b}
+	b.locals[id] = ls
+	return ls
+}
+
+func (b *Bus) localService(id ident.ID) *LocalService {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.locals[id]
+}
+
+// ID returns the local service's synthetic ID.
+func (l *LocalService) ID() ident.ID { return l.id }
+
+// Name returns the service name.
+func (l *LocalService) Name() string { return l.name }
+
+// Subscribe installs a filter whose matches are delivered to fn. The
+// handler runs on the bus's processing goroutine and must not block.
+func (l *LocalService) Subscribe(f *event.Filter, fn Handler) error {
+	if f == nil || fn == nil {
+		return fmt.Errorf("bus: local subscribe needs filter and handler")
+	}
+	if err := l.b.match.Subscribe(l.id, f); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.handlers = append(l.handlers, localHandler{filter: f.Clone(), fn: fn})
+	l.mu.Unlock()
+	l.b.mu.Lock()
+	l.b.stats.Subscriptions++
+	l.b.mu.Unlock()
+	l.b.unquenchAll()
+	return nil
+}
+
+// Unsubscribe removes a previously installed filter.
+func (l *LocalService) Unsubscribe(f *event.Filter) error {
+	if err := l.b.match.Unsubscribe(l.id, f); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	for i, h := range l.handlers {
+		if h.filter.Equal(f) {
+			l.handlers = append(l.handlers[:i], l.handlers[i+1:]...)
+			break
+		}
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Publish injects an event into the bus under this service's ID. A
+// per-service sequence number is assigned so that local publishes obey
+// the same per-sender FIFO contract as remote ones.
+func (l *LocalService) Publish(e *event.Event) error {
+	e.Sender = l.id
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	l.mu.Unlock()
+	return l.b.enqueuePublish(e)
+}
+
+// dispatch fans a matched event out to the handlers whose filters it
+// satisfies.
+func (l *LocalService) dispatch(e *event.Event) {
+	l.mu.Lock()
+	hs := make([]localHandler, len(l.handlers))
+	copy(hs, l.handlers)
+	l.mu.Unlock()
+	for _, h := range hs {
+		if h.filter.Matches(e) {
+			h.fn(e)
+		}
+	}
+}

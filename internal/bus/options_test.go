@@ -1,0 +1,101 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/proxy"
+	"github.com/amuse/smc/internal/wire"
+)
+
+func TestWithProxyConfigApplies(t *testing.T) {
+	cfg := proxy.Config{QueueCap: 2, RedeliveryInterval: time.Hour}
+	r := newRig(t, WithProxyConfig(cfg))
+	pub := r.member(t, 1, "generic")
+
+	// An unreachable member: its queue should respect the tiny cap.
+	ghost := ident.New(0xDEAD)
+	if err := r.bus.AddMember(ghost, "generic", "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.bus.match.Subscribe(ghost, event.NewFilter().WhereType("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		publish(t, pub, event.NewTyped("x").SetInt("n", int64(i)))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var dropped uint64
+	for time.Now().Before(deadline) {
+		if px := r.bus.MemberProxy(ghost); px != nil {
+			dropped = px.Stats().DroppedOldest
+			if dropped > 0 && px.QueueLen() <= 2 {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("tiny queue cap not honoured (dropped=%d)", dropped)
+}
+
+func TestWithQueueDepthBoundsBacklog(t *testing.T) {
+	// Depth 1 with a slow cost model: a burst overflows and is
+	// counted as ErrBusy drops (BadPackets via enqueue failure for
+	// remote publishes, error return for local ones).
+	r := newRig(t, WithQueueDepth(1), WithCost(Cost{IngestPerEvent: 50 * time.Millisecond}))
+	svc := r.bus.Local("burster")
+	var busy int
+	for i := 0; i < 20; i++ {
+		if err := svc.Publish(event.NewTyped("t")); err != nil {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Error("no backpressure with queue depth 1")
+	}
+}
+
+func TestLocalServiceName(t *testing.T) {
+	r := newRig(t)
+	ls := r.bus.Local("monitoring")
+	if ls.Name() != "monitoring" {
+		t.Errorf("name = %q", ls.Name())
+	}
+}
+
+func TestBadPacketsCounted(t *testing.T) {
+	r := newRig(t)
+	m := r.member(t, 1, "generic")
+	// A bus endpoint should never receive discovery traffic; it is
+	// counted as bad.
+	if err := m.SendUnreliable(ident.New(busID), wire.PktHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage event payload from a member.
+	if err := m.Send(ident.New(busID), wire.PktEvent, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.bus.Stats().BadPackets >= 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("BadPackets = %d, want ≥ 2", r.bus.Stats().BadPackets)
+}
+
+func TestUnsubscribeUnknownFilterIgnored(t *testing.T) {
+	r := newRig(t)
+	m := r.member(t, 1, "generic")
+	f := event.NewFilter().WhereType("never-installed")
+	if err := m.Send(ident.New(busID), wire.PktUnsubscribe, wire.EncodeFilter(f)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if st := r.bus.Stats(); st.Unsubscriptions != 0 {
+		t.Errorf("phantom unsubscription recorded: %+v", st)
+	}
+}

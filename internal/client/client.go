@@ -1,0 +1,240 @@
+// Package client is the member-side library for talking to an SMC
+// event bus: synchronous acknowledged publish (Fig. 3), subscription
+// management, and receipt of events pushed by the member's proxy.
+//
+// It also honours quench/unquench (§VI): while quenched — told by the
+// bus that no subscription currently matches — publishes are suppressed
+// locally, saving the radio transmission entirely.
+package client
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/transport"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// ErrQuenched reports a publish suppressed because the bus has quenched
+// this publisher.
+var ErrQuenched = errors.New("client: quenched by bus")
+
+// Stats counts client activity.
+type Stats struct {
+	Published        uint64
+	QuenchSuppressed uint64
+	EventsReceived   uint64
+	DataReceived     uint64
+}
+
+// Client is one member service's connection to the bus.
+type Client struct {
+	ch  *reliable.Channel
+	bus ident.ID
+
+	quenched atomic.Bool
+	pubSeq   atomic.Uint64
+
+	inbox chan *event.Event
+	data  chan []byte
+
+	mu    sync.Mutex
+	stats Stats
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeErr  error
+}
+
+// New wraps a reliable channel (which the client then owns) and the
+// bus's service ID, and starts the receive loop.
+func New(ch *reliable.Channel, busID ident.ID) *Client {
+	c := &Client{
+		ch:    ch,
+		bus:   busID,
+		inbox: make(chan *event.Event, 256),
+		data:  make(chan []byte, 256),
+		done:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c
+}
+
+// ID returns the client's service ID.
+func (c *Client) ID() ident.ID { return c.ch.LocalID() }
+
+// BusID returns the bus the client talks to.
+func (c *Client) BusID() ident.ID { return c.bus }
+
+// Stats returns a snapshot of the counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Quenched reports whether the bus has quenched this publisher.
+func (c *Client) Quenched() bool { return c.quenched.Load() }
+
+// Publish sends an event to the bus and blocks until the bus has
+// acknowledged it (synchronous call semantics, Fig. 3). While quenched
+// it suppresses the send and returns ErrQuenched.
+func (c *Client) Publish(e *event.Event) error {
+	if c.quenched.Load() {
+		c.mu.Lock()
+		c.stats.QuenchSuppressed++
+		c.mu.Unlock()
+		return ErrQuenched
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if e.Stamp.IsZero() {
+		e.Stamp = time.Now()
+	}
+	e.Sender = c.ch.LocalID()
+	e.Seq = c.pubSeq.Add(1)
+	if err := c.ch.Send(c.bus, wire.PktEvent, wire.EncodeEvent(e)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Published++
+	c.mu.Unlock()
+	return nil
+}
+
+// PublishRaw sends raw device bytes for the member's proxy to translate
+// (the "simple sensor" path of §III-B).
+func (c *Client) PublishRaw(data []byte) error {
+	if c.quenched.Load() {
+		c.mu.Lock()
+		c.stats.QuenchSuppressed++
+		c.mu.Unlock()
+		return ErrQuenched
+	}
+	if err := c.ch.Send(c.bus, wire.PktData, data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Published++
+	c.mu.Unlock()
+	return nil
+}
+
+// PublishRawUnreliable sends raw device bytes without waiting for an
+// acknowledgement (wire.FlagNoAck): the periodic-sensor style of
+// §III-B — "a temperature sensor may periodically transmit data and
+// not require any acknowledgement prior to the next reading". Loss and
+// duplication are tolerated by the next reading superseding this one.
+func (c *Client) PublishRawUnreliable(data []byte) error {
+	if c.quenched.Load() {
+		c.mu.Lock()
+		c.stats.QuenchSuppressed++
+		c.mu.Unlock()
+		return ErrQuenched
+	}
+	if err := c.ch.SendUnreliable(c.bus, wire.PktData, data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Published++
+	c.mu.Unlock()
+	return nil
+}
+
+// Subscribe installs a content filter at the bus (acknowledged).
+func (c *Client) Subscribe(f *event.Filter) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	return c.ch.Send(c.bus, wire.PktSubscribe, wire.EncodeFilter(f))
+}
+
+// Unsubscribe removes a previously installed filter.
+func (c *Client) Unsubscribe(f *event.Filter) error {
+	return c.ch.Send(c.bus, wire.PktUnsubscribe, wire.EncodeFilter(f))
+}
+
+// Events yields events pushed by the bus (via this member's proxy).
+func (c *Client) Events() <-chan *event.Event { return c.inbox }
+
+// Data yields raw device bytes pushed by the bus for devices whose
+// proxy translates outbound events into a native format.
+func (c *Client) Data() <-chan []byte { return c.data }
+
+// NextEvent waits for one delivered event with a deadline.
+func (c *Client) NextEvent(d time.Duration) (*event.Event, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case e := <-c.inbox:
+		return e, nil
+	case <-timer.C:
+		return nil, transport.ErrTimeout
+	case <-c.done:
+		return nil, reliable.ErrClosed
+	}
+}
+
+// Close shuts the client and its channel down.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.closeErr = c.ch.Close()
+		c.wg.Wait()
+	})
+	return c.closeErr
+}
+
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	for {
+		pkt, err := c.ch.Recv()
+		if err != nil {
+			return
+		}
+		switch pkt.Type {
+		case wire.PktEvent:
+			e, err := wire.DecodeEvent(pkt.Payload)
+			if err != nil {
+				continue
+			}
+			// Origin sender/seq travel inside the payload; the packet
+			// header identifies only the relaying bus.
+			c.mu.Lock()
+			c.stats.EventsReceived++
+			c.mu.Unlock()
+			select {
+			case c.inbox <- e:
+			case <-c.done:
+				return
+			default: // inbox overflow: drop oldest semantics not needed; drop new
+			}
+		case wire.PktData:
+			cp := make([]byte, len(pkt.Payload))
+			copy(cp, pkt.Payload)
+			c.mu.Lock()
+			c.stats.DataReceived++
+			c.mu.Unlock()
+			select {
+			case c.data <- cp:
+			case <-c.done:
+				return
+			default:
+			}
+		case wire.PktQuench:
+			c.quenched.Store(true)
+		case wire.PktUnquench:
+			c.quenched.Store(false)
+		default:
+			// Unknown traffic on the client endpoint: ignore.
+		}
+	}
+}

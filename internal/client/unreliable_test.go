@@ -1,0 +1,42 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/sensor"
+)
+
+// TestPublishRawUnreliableEndToEnd sends NoAck native data through the
+// bus: the proxy still translates and routes it, but the client never
+// blocks on an acknowledgement.
+func TestPublishRawUnreliableEndToEnd(t *testing.T) {
+	r := newRig(t)
+	hr := r.client(t, 1, sensor.DeviceTypeHeartRate, "hr-1")
+	mon := r.client(t, 2, "generic", "monitor")
+	if err := mon.Subscribe(event.NewFilter().WhereType(sensor.TypeReading)); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		reading := sensor.Reading{
+			Kind: sensor.KindHeartRate, Seq: uint16(i + 1), Millis: int64(i), Value: 70,
+		}
+		if err := hr.PublishRawUnreliable(sensor.EncodeReading(reading)); err != nil {
+			t.Fatalf("unreliable publish %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		e, err := mon.NextEvent(3 * time.Second)
+		if err != nil {
+			t.Fatalf("reading %d: %v", i, err)
+		}
+		if v, _ := e.Get(sensor.AttrSeq); !v.Equal(event.Int(int64(i + 1))) {
+			t.Fatalf("reading %d has seq %s", i, v)
+		}
+	}
+	if hr.Stats().Published != 5 {
+		t.Errorf("published = %d", hr.Stats().Published)
+	}
+}

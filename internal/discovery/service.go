@@ -1,0 +1,451 @@
+package discovery
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// Emitter receives the membership events the discovery service
+// generates; the bus's local-service handle satisfies it.
+type Emitter interface {
+	Publish(e *event.Event) error
+}
+
+// AdmitFunc is an optional application-level admission hook consulted
+// after credential verification. Returning an error rejects the device
+// with the error text as the reason.
+type AdmitFunc func(id ident.ID, deviceType, name string) error
+
+// MemberState describes a member's liveness.
+type MemberState int
+
+// Member liveness states. A member whose lease lapsed enters Grace —
+// still a member, its silence masked (§II-B: "a nurse leaves the room
+// for a short period of time before returning") — and is purged only
+// when the grace period also lapses.
+const (
+	StateActive MemberState = iota + 1
+	StateGrace
+)
+
+// String names the state.
+func (s MemberState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateGrace:
+		return "grace"
+	default:
+		return "unknown"
+	}
+}
+
+// MemberInfo is a snapshot of one member's record.
+type MemberInfo struct {
+	ID         ident.ID
+	DeviceType string
+	Name       string
+	State      MemberState
+	LastSeen   time.Time
+	JoinedAt   time.Time
+}
+
+// ServiceConfig configures a discovery service.
+type ServiceConfig struct {
+	// Cell is the cell's name, echoed in beacons and join accepts.
+	Cell string
+	// Secret is the shared admission secret.
+	Secret []byte
+	// BusID is the event bus's service ID, handed to admitted devices.
+	BusID ident.ID
+	// Epoch distinguishes service restarts.
+	Epoch uint32
+	// BeaconInterval is the broadcast period (default 500 ms).
+	BeaconInterval time.Duration
+	// Lease is the heartbeat lease (default 2 s).
+	Lease time.Duration
+	// Grace is the additional tolerated silence (default 3 s).
+	Grace time.Duration
+	// Admit is the optional admission hook.
+	Admit AdmitFunc
+	// Register, when set, is called synchronously after admission is
+	// decided and before the JoinAccept is sent — the bus wires its
+	// AddMember here so the member's proxy exists before the device
+	// learns it was admitted (no publish can race ahead of
+	// membership). An error rejects the join.
+	Register func(id ident.ID, deviceType, name string) error
+	// Unregister, when set, is called when a member is purged,
+	// before the Purge Member event is emitted.
+	Unregister func(id ident.ID)
+}
+
+func (c *ServiceConfig) fillDefaults() {
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = 500 * time.Millisecond
+	}
+	if c.Lease <= 0 {
+		c.Lease = 2 * time.Second
+	}
+	if c.Grace <= 0 {
+		c.Grace = 3 * time.Second
+	}
+}
+
+// Stats counts discovery activity.
+type Stats struct {
+	Beacons      uint64
+	JoinRequests uint64
+	Admitted     uint64
+	Rejected     uint64
+	Heartbeats   uint64
+	GraceEntries uint64
+	GraceReturns uint64
+	Purged       uint64
+	Leaves       uint64
+	EmitFailures uint64
+}
+
+// Service is the cell-side discovery service.
+type Service struct {
+	ch   *reliable.Channel
+	emit Emitter
+	cfg  ServiceConfig
+
+	mu      sync.Mutex
+	members map[ident.ID]*memberRecord
+	stats   Stats
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type memberRecord struct {
+	info MemberInfo
+}
+
+// NewService builds a discovery service over its own reliable channel
+// (the discovery protocol does not share the bus's endpoint). Call
+// Start to begin beaconing and admission.
+func NewService(ch *reliable.Channel, emit Emitter, cfg ServiceConfig) (*Service, error) {
+	if emit == nil {
+		return nil, errors.New("discovery: nil emitter")
+	}
+	if cfg.Cell == "" {
+		return nil, errors.New("discovery: empty cell name")
+	}
+	if cfg.BusID.IsNil() {
+		return nil, errors.New("discovery: missing bus ID")
+	}
+	cfg.fillDefaults()
+	return &Service{
+		ch:      ch,
+		emit:    emit,
+		cfg:     cfg,
+		members: make(map[ident.ID]*memberRecord),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// ID returns the discovery service's network ID.
+func (s *Service) ID() ident.ID { return s.ch.LocalID() }
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Members snapshots the membership table.
+func (s *Service) Members() []MemberInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MemberInfo, 0, len(s.members))
+	for _, m := range s.members {
+		out = append(out, m.info)
+	}
+	return out
+}
+
+// Member returns one member's record.
+func (s *Service) Member(id ident.ID) (MemberInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[id]
+	if !ok {
+		return MemberInfo{}, false
+	}
+	return m.info, true
+}
+
+// Start launches the beacon, receive and expiry loops.
+func (s *Service) Start() {
+	s.wg.Add(3)
+	go s.beaconLoop()
+	go s.recvLoop()
+	go s.expiryLoop()
+}
+
+// Close stops the service and its channel.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	err := s.ch.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Kick forcibly purges a member (management action).
+func (s *Service) Kick(id ident.ID, reason string) bool {
+	return s.purge(id, reason)
+}
+
+func (s *Service) beaconLoop() {
+	defer s.wg.Done()
+	payload := wire.AppendBeacon(nil, wire.Beacon{Cell: s.cfg.Cell, Epoch: s.cfg.Epoch})
+	ticker := time.NewTicker(s.cfg.BeaconInterval)
+	defer ticker.Stop()
+	// Send one beacon immediately so joins don't wait a full period.
+	s.sendBeacon(payload)
+	for {
+		select {
+		case <-ticker.C:
+			s.sendBeacon(payload)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Service) sendBeacon(payload []byte) {
+	if err := s.ch.SendUnreliable(ident.Broadcast, wire.PktBeacon, payload); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.stats.Beacons++
+	s.mu.Unlock()
+}
+
+func (s *Service) recvLoop() {
+	defer s.wg.Done()
+	for {
+		pkt, err := s.ch.Recv()
+		if err != nil {
+			return
+		}
+		switch pkt.Type {
+		case wire.PktJoinRequest:
+			s.handleJoin(pkt)
+		case wire.PktHeartbeat:
+			s.handleHeartbeat(pkt.Sender)
+		case wire.PktLeave:
+			s.handleLeave(pkt.Sender)
+		default:
+			// Bus traffic does not belong here; ignore.
+		}
+	}
+}
+
+func (s *Service) handleJoin(pkt *wire.Packet) {
+	s.mu.Lock()
+	s.stats.JoinRequests++
+	s.mu.Unlock()
+
+	req, err := wire.DecodeJoinRequest(pkt.Payload)
+	if err != nil {
+		s.reject(pkt.Sender, "malformed join request")
+		return
+	}
+	if !VerifyAuth(s.cfg.Secret, pkt.Sender, s.cfg.Cell, req.Auth) {
+		s.reject(pkt.Sender, "authentication failed")
+		return
+	}
+	if s.cfg.Admit != nil {
+		if err := s.cfg.Admit(pkt.Sender, req.DeviceType, req.DeviceName); err != nil {
+			s.reject(pkt.Sender, err.Error())
+			return
+		}
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	rec, rejoin := s.members[pkt.Sender]
+	s.mu.Unlock()
+	if !rejoin && s.cfg.Register != nil {
+		if err := s.cfg.Register(pkt.Sender, req.DeviceType, req.DeviceName); err != nil {
+			s.reject(pkt.Sender, err.Error())
+			return
+		}
+	}
+	s.mu.Lock()
+	if rejoin {
+		// Re-join of a live member (e.g. device restarted before its
+		// lease lapsed): refresh the record, do not duplicate the
+		// New Member event.
+		rec.info.LastSeen = now
+		rec.info.State = StateActive
+	} else {
+		s.members[pkt.Sender] = &memberRecord{info: MemberInfo{
+			ID:         pkt.Sender,
+			DeviceType: req.DeviceType,
+			Name:       req.DeviceName,
+			State:      StateActive,
+			LastSeen:   now,
+			JoinedAt:   now,
+		}}
+		s.stats.Admitted++
+	}
+	s.mu.Unlock()
+
+	accept := wire.AppendJoinAccept(nil, wire.JoinAccept{
+		Cell:        s.cfg.Cell,
+		Bus:         s.cfg.BusID,
+		LeaseMillis: uint32(s.cfg.Lease / time.Millisecond),
+		GraceMillis: uint32(s.cfg.Grace / time.Millisecond),
+	})
+	if err := s.ch.Send(pkt.Sender, wire.PktJoinAccept, accept); err != nil {
+		// Could not confirm admission: roll back so the device can
+		// retry cleanly.
+		if !rejoin {
+			s.mu.Lock()
+			delete(s.members, pkt.Sender)
+			s.mu.Unlock()
+			if s.cfg.Unregister != nil {
+				s.cfg.Unregister(pkt.Sender)
+			}
+		}
+		return
+	}
+	if !rejoin {
+		s.emitMembership(event.TypeNewMember, pkt.Sender, req.DeviceType, req.DeviceName, "")
+	}
+}
+
+func (s *Service) reject(to ident.ID, reason string) {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+	payload := wire.AppendJoinReject(nil, wire.JoinReject{Reason: reason})
+	_ = s.ch.SendUnreliable(to, wire.PktJoinReject, payload)
+}
+
+func (s *Service) handleHeartbeat(id ident.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.members[id]
+	if !ok {
+		return // not a member; heartbeats don't admit
+	}
+	s.stats.Heartbeats++
+	rec.info.LastSeen = time.Now()
+	if rec.info.State == StateGrace {
+		rec.info.State = StateActive
+		s.stats.GraceReturns++
+	}
+}
+
+func (s *Service) handleLeave(id ident.ID) {
+	s.mu.Lock()
+	_, ok := s.members[id]
+	if ok {
+		s.stats.Leaves++
+	}
+	s.mu.Unlock()
+	if ok {
+		s.purge(id, "leave")
+	}
+}
+
+func (s *Service) expiryLoop() {
+	defer s.wg.Done()
+	period := s.cfg.Lease / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.checkExpiry()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Service) checkExpiry() {
+	now := time.Now()
+	var toPurge []ident.ID
+	s.mu.Lock()
+	for id, rec := range s.members {
+		silence := now.Sub(rec.info.LastSeen)
+		switch rec.info.State {
+		case StateActive:
+			if silence > s.cfg.Lease {
+				rec.info.State = StateGrace
+				s.stats.GraceEntries++
+			}
+		case StateGrace:
+			if silence > s.cfg.Lease+s.cfg.Grace {
+				toPurge = append(toPurge, id)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range toPurge {
+		s.purge(id, "lease-expired")
+	}
+}
+
+// purge removes a member and announces it. It reports whether the
+// member existed.
+func (s *Service) purge(id ident.ID, reason string) bool {
+	s.mu.Lock()
+	rec, ok := s.members[id]
+	if ok {
+		delete(s.members, id)
+		s.stats.Purged++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.ch.Forget(id)
+	if s.cfg.Unregister != nil {
+		s.cfg.Unregister(id)
+	}
+	s.emitMembership(event.TypePurgeMember, id, rec.info.DeviceType, rec.info.Name, reason)
+	return true
+}
+
+func (s *Service) emitMembership(class string, id ident.ID, deviceType, name, reason string) {
+	e := event.NewTyped(class).
+		Set(event.AttrMember, event.Int(int64(id))).
+		Set(event.AttrDeviceType, event.Str(deviceType)).
+		SetStr("name", name)
+	e.Stamp = time.Now()
+	if reason != "" {
+		e.SetStr("reason", reason)
+	}
+	if err := s.emit.Publish(e); err != nil {
+		// The bus is shutting down or overloaded; count and drop —
+		// membership state is re-announced by later lifecycle changes.
+		s.mu.Lock()
+		s.stats.EmitFailures++
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,240 @@
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+)
+
+// Well-known attribute names used by SMC core services. Application
+// events are free to use any other names.
+const (
+	// AttrType carries the event class ("new-member", "alarm", ...).
+	AttrType = "type"
+	// AttrMember carries the member ID in discovery events.
+	AttrMember = "member"
+	// AttrDeviceType carries the device class in discovery events so
+	// that the bootstrap service can choose a proxy type (§III-C).
+	AttrDeviceType = "device-type"
+)
+
+// Event classes published by the core services.
+const (
+	TypeNewMember   = "new-member"
+	TypePurgeMember = "purge-member"
+	TypeAlarm       = "alarm"
+)
+
+// Limits on event structure, keeping the memory footprint bounded for
+// the constrained target platform (§II-C).
+const (
+	MaxAttrs      = 64
+	MaxNameLen    = 255
+	MaxStringLen  = 64 * 1024
+	MaxBytesLen   = 64 * 1024
+	MaxEventBytes = 128 * 1024
+)
+
+var (
+	// ErrTooManyAttrs reports an event exceeding MaxAttrs.
+	ErrTooManyAttrs = errors.New("event: too many attributes")
+	// ErrBadName reports an empty or over-long attribute name.
+	ErrBadName = errors.New("event: bad attribute name")
+	// ErrBadValue reports an invalid or over-long attribute value.
+	ErrBadValue = errors.New("event: bad attribute value")
+)
+
+// Event is a set of named, typed attributes plus delivery metadata.
+// Events are value-like: Clone before mutation when sharing.
+type Event struct {
+	// Sender identifies the publishing service.
+	Sender ident.ID
+	// Seq is the publisher-assigned sequence number used for
+	// per-sender FIFO ordering and duplicate suppression (§II-C).
+	Seq uint64
+	// Stamp is the publish time (informational; ordering never
+	// depends on clocks).
+	Stamp time.Time
+
+	attrs map[string]Value
+}
+
+// New returns an empty event.
+func New() *Event {
+	return &Event{attrs: make(map[string]Value, 8)}
+}
+
+// NewTyped returns an event whose "type" attribute is set to class.
+func NewTyped(class string) *Event {
+	e := New()
+	e.Set(AttrType, Str(class))
+	return e
+}
+
+// Set stores an attribute, replacing any previous value under the name.
+// It returns the event to allow chaining.
+func (e *Event) Set(name string, v Value) *Event {
+	if e.attrs == nil {
+		e.attrs = make(map[string]Value, 8)
+	}
+	e.attrs[name] = v
+	return e
+}
+
+// SetInt is shorthand for Set(name, Int(v)).
+func (e *Event) SetInt(name string, v int64) *Event { return e.Set(name, Int(v)) }
+
+// SetFloat is shorthand for Set(name, Float(v)).
+func (e *Event) SetFloat(name string, v float64) *Event { return e.Set(name, Float(v)) }
+
+// SetStr is shorthand for Set(name, Str(v)).
+func (e *Event) SetStr(name, v string) *Event { return e.Set(name, Str(v)) }
+
+// SetBool is shorthand for Set(name, Bool(v)).
+func (e *Event) SetBool(name string, v bool) *Event { return e.Set(name, Bool(v)) }
+
+// SetBytes is shorthand for Set(name, Bytes(v)).
+func (e *Event) SetBytes(name string, v []byte) *Event { return e.Set(name, Bytes(v)) }
+
+// Get returns the attribute value under name; the second result reports
+// whether it exists.
+func (e *Event) Get(name string) (Value, bool) {
+	v, ok := e.attrs[name]
+	return v, ok
+}
+
+// Has reports whether the event carries an attribute under name.
+func (e *Event) Has(name string) bool {
+	_, ok := e.attrs[name]
+	return ok
+}
+
+// Delete removes the attribute under name if present.
+func (e *Event) Delete(name string) {
+	delete(e.attrs, name)
+}
+
+// Len reports the number of attributes.
+func (e *Event) Len() int { return len(e.attrs) }
+
+// Type returns the "type" attribute if it is a string, else "".
+func (e *Event) Type() string {
+	v, ok := e.attrs[AttrType]
+	if !ok {
+		return ""
+	}
+	s, _ := v.Str()
+	return s
+}
+
+// Names returns the attribute names in sorted order. The slice is fresh
+// on every call.
+func (e *Event) Names() []string {
+	names := make([]string, 0, len(e.attrs))
+	for n := range e.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Range calls fn for every attribute in sorted name order; if fn returns
+// false the iteration stops.
+func (e *Event) Range(fn func(name string, v Value) bool) {
+	for _, n := range e.Names() {
+		if !fn(n, e.attrs[n]) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the event.
+func (e *Event) Clone() *Event {
+	cp := &Event{
+		Sender: e.Sender,
+		Seq:    e.Seq,
+		Stamp:  e.Stamp,
+		attrs:  make(map[string]Value, len(e.attrs)),
+	}
+	for n, v := range e.attrs {
+		if v.typ == TypeBytes {
+			v = Bytes(v.raw) // fresh backing array
+		}
+		cp.attrs[n] = v
+	}
+	return cp
+}
+
+// Equal reports whether two events carry identical attributes and
+// metadata.
+func (e *Event) Equal(o *Event) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Sender != o.Sender || e.Seq != o.Seq || len(e.attrs) != len(o.attrs) {
+		return false
+	}
+	for n, v := range e.attrs {
+		ov, ok := o.attrs[n]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the event against the structural limits.
+func (e *Event) Validate() error {
+	if len(e.attrs) > MaxAttrs {
+		return fmt.Errorf("%w: %d > %d", ErrTooManyAttrs, len(e.attrs), MaxAttrs)
+	}
+	for n, v := range e.attrs {
+		if err := validateName(n); err != nil {
+			return err
+		}
+		if err := validateValue(v); err != nil {
+			return fmt.Errorf("%w: attribute %q", err, n)
+		}
+	}
+	return nil
+}
+
+func validateName(n string) error {
+	if n == "" || len(n) > MaxNameLen {
+		return fmt.Errorf("%w: %q", ErrBadName, n)
+	}
+	return nil
+}
+
+func validateValue(v Value) error {
+	switch v.typ {
+	case TypeString:
+		if len(v.str) > MaxStringLen {
+			return fmt.Errorf("%w: string of %d bytes", ErrBadValue, len(v.str))
+		}
+	case TypeBytes:
+		if len(v.raw) > MaxBytesLen {
+			return fmt.Errorf("%w: %d bytes", ErrBadValue, len(v.raw))
+		}
+	case TypeInvalid:
+		return fmt.Errorf("%w: invalid value", ErrBadValue)
+	}
+	return nil
+}
+
+// String renders the event compactly for logs.
+func (e *Event) String() string {
+	var sb strings.Builder
+	sb.WriteString("event{")
+	fmt.Fprintf(&sb, "sender=%s seq=%d", e.Sender, e.Seq)
+	e.Range(func(name string, v Value) bool {
+		fmt.Fprintf(&sb, " %s=%s", name, v)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,449 @@
+package matcher
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// FastMatcher implements Siena's fast forwarding counting algorithm
+// (Carzaniga & Wolf, SIGCOMM 2003) directly over the bus-native event
+// types: per-attribute constraint indexes, a single pass over the
+// event's attributes, and a counter per filter. A filter matches when
+// its counter reaches its constraint count.
+type FastMatcher struct {
+	mu sync.RWMutex
+	// subs holds one node per installed (subscriber, filter) pair.
+	subs map[ident.ID][]*fastFilter
+	// index maps attribute name to the per-operator constraint index.
+	index map[string]*attrIndex
+	// dense assigns every installed filter a small integer slot so
+	// that matching can count satisfied constraints in a flat array
+	// instead of a map (the hot path of the counting algorithm).
+	dense []*fastFilter
+	free  []int
+	count int
+	// scratch pools per-match counter arrays.
+	scratch sync.Pool
+}
+
+var _ Matcher = (*FastMatcher)(nil)
+
+// fastFilter is one installed filter with its constraint count.
+type fastFilter struct {
+	sub    ident.ID
+	filter *event.Filter
+	need   int32
+	idx    int
+}
+
+// matchScratch is the per-match counting state: counts[i] is the
+// number of satisfied constraints of dense[i] in the current match,
+// valid only when stamps[i] equals the current epoch — so the arrays
+// never need zeroing between matches.
+type matchScratch struct {
+	counts []int32
+	stamps []uint32
+	epoch  uint32
+}
+
+// constraintRef ties a constraint back to its filter.
+type constraintRef struct {
+	c event.Constraint
+	f *fastFilter
+}
+
+// attrIndex indexes the constraints that name one attribute, organised
+// by operator class so that matching touches as few constraints as
+// possible.
+type attrIndex struct {
+	// eq maps a hashable value key to refs with that exact bound.
+	eq map[valueKey][]*constraintRef
+	// ordered holds <,<=,>,>= refs sorted by numeric bound (numeric
+	// bounds only; non-numeric ordered constraints fall into linear).
+	less    []orderedRef // OpLt, OpLe
+	greater []orderedRef // OpGt, OpGe
+	// linear holds everything without a sub-linear index: string
+	// ops, Ne, exists, and non-numeric ordered constraints.
+	linear []*constraintRef
+	// exists holds OpExists refs (satisfied by presence alone).
+	exists []*constraintRef
+}
+
+type orderedRef struct {
+	bound float64
+	incl  bool // bound satisfies the constraint (Le/Ge)
+	ref   *constraintRef
+}
+
+// valueKey is a hashable projection of a Value for equality indexing.
+type valueKey struct {
+	t event.Type
+	n float64 // numeric values keyed by magnitude (Int(1)==Float(1) for matching)
+	s string
+	b bool
+}
+
+func keyOf(v event.Value) (valueKey, bool) {
+	switch v.Type() {
+	case event.TypeInt:
+		i, _ := v.Int()
+		return valueKey{t: event.TypeInt, n: float64(i)}, true
+	case event.TypeFloat:
+		f, _ := v.Float()
+		return valueKey{t: event.TypeFloat, n: f}, true
+	case event.TypeString:
+		s, _ := v.Str()
+		return valueKey{t: event.TypeString, s: s}, true
+	case event.TypeBool:
+		b, _ := v.Bool()
+		return valueKey{t: event.TypeBool, b: b}, true
+	default:
+		return valueKey{}, false // bytes: not hashable cheaply, use linear
+	}
+}
+
+// numericKeys returns the equality-index keys an event value should
+// probe: numeric values match both int- and float-keyed constraints of
+// the same magnitude.
+func probeKeys(v event.Value) []valueKey {
+	switch v.Type() {
+	case event.TypeInt:
+		i, _ := v.Int()
+		return []valueKey{
+			{t: event.TypeInt, n: float64(i)},
+			{t: event.TypeFloat, n: float64(i)},
+		}
+	case event.TypeFloat:
+		f, _ := v.Float()
+		return []valueKey{
+			{t: event.TypeFloat, n: f},
+			{t: event.TypeInt, n: f},
+		}
+	case event.TypeString:
+		s, _ := v.Str()
+		return []valueKey{{t: event.TypeString, s: s}}
+	case event.TypeBool:
+		b, _ := v.Bool()
+		return []valueKey{{t: event.TypeBool, b: b}}
+	default:
+		return nil
+	}
+}
+
+// NewFast returns an empty FastMatcher.
+func NewFast() *FastMatcher {
+	m := &FastMatcher{
+		subs:  make(map[ident.ID][]*fastFilter),
+		index: make(map[string]*attrIndex),
+	}
+	m.scratch.New = func() interface{} { return &matchScratch{} }
+	return m
+}
+
+// Name implements Matcher.
+func (m *FastMatcher) Name() string { return string(KindFast) }
+
+// Subscribe implements Matcher.
+func (m *FastMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
+	if f == nil {
+		return ErrNilFilter
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ff := range m.subs[sub] {
+		if ff.filter.Equal(f) {
+			return nil // idempotent
+		}
+	}
+	ff := &fastFilter{sub: sub, filter: f.Clone(), need: int32(f.Len())}
+	if n := len(m.free); n > 0 {
+		ff.idx = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.dense[ff.idx] = ff
+	} else {
+		ff.idx = len(m.dense)
+		m.dense = append(m.dense, ff)
+	}
+	m.subs[sub] = append(m.subs[sub], ff)
+	m.count++
+	for _, c := range ff.filter.Constraints() {
+		m.indexFor(c.Name).add(&constraintRef{c: c, f: ff})
+	}
+	return nil
+}
+
+func (m *FastMatcher) indexFor(name string) *attrIndex {
+	ai, ok := m.index[name]
+	if !ok {
+		ai = &attrIndex{eq: make(map[valueKey][]*constraintRef)}
+		m.index[name] = ai
+	}
+	return ai
+}
+
+func (ai *attrIndex) add(ref *constraintRef) {
+	switch ref.c.Op {
+	case event.OpEq:
+		if k, ok := keyOf(ref.c.Value); ok {
+			ai.eq[k] = append(ai.eq[k], ref)
+			return
+		}
+		ai.linear = append(ai.linear, ref)
+	case event.OpExists:
+		ai.exists = append(ai.exists, ref)
+	case event.OpLt, event.OpLe:
+		if bound, ok := numericBound(ref.c.Value); ok {
+			ai.less = insertOrdered(ai.less, orderedRef{
+				bound: bound, incl: ref.c.Op == event.OpLe, ref: ref,
+			})
+			return
+		}
+		ai.linear = append(ai.linear, ref)
+	case event.OpGt, event.OpGe:
+		if bound, ok := numericBound(ref.c.Value); ok {
+			ai.greater = insertOrdered(ai.greater, orderedRef{
+				bound: bound, incl: ref.c.Op == event.OpGe, ref: ref,
+			})
+			return
+		}
+		ai.linear = append(ai.linear, ref)
+	default:
+		ai.linear = append(ai.linear, ref)
+	}
+}
+
+func numericBound(v event.Value) (float64, bool) {
+	switch v.Type() {
+	case event.TypeInt:
+		i, _ := v.Int()
+		return float64(i), true
+	case event.TypeFloat:
+		f, _ := v.Float()
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+func insertOrdered(s []orderedRef, r orderedRef) []orderedRef {
+	i := sort.Search(len(s), func(i int) bool { return s[i].bound >= r.bound })
+	s = append(s, orderedRef{})
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	return s
+}
+
+func removeRef(s []*constraintRef, ff *fastFilter) []*constraintRef {
+	out := s[:0]
+	for _, r := range s {
+		if r.f != ff {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func removeOrdered(s []orderedRef, ff *fastFilter) []orderedRef {
+	out := s[:0]
+	for _, r := range s {
+		if r.ref.f != ff {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Unsubscribe implements Matcher.
+func (m *FastMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
+	if f == nil {
+		return ErrNilFilter
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := m.subs[sub]
+	for i, ff := range list {
+		if !ff.filter.Equal(f) {
+			continue
+		}
+		m.subs[sub] = append(list[:i], list[i+1:]...)
+		if len(m.subs[sub]) == 0 {
+			delete(m.subs, sub)
+		}
+		m.removeFromIndex(ff)
+		m.releaseSlot(ff)
+		m.count--
+		return nil
+	}
+	return ErrNoSuchSubscription
+}
+
+// UnsubscribeAll implements Matcher.
+func (m *FastMatcher) UnsubscribeAll(sub ident.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ff := range m.subs[sub] {
+		m.removeFromIndex(ff)
+		m.releaseSlot(ff)
+		m.count--
+	}
+	delete(m.subs, sub)
+}
+
+// releaseSlot returns a filter's dense slot to the free list. Caller
+// holds m.mu.
+func (m *FastMatcher) releaseSlot(ff *fastFilter) {
+	m.dense[ff.idx] = nil
+	m.free = append(m.free, ff.idx)
+}
+
+func (m *FastMatcher) removeFromIndex(ff *fastFilter) {
+	for _, c := range ff.filter.Constraints() {
+		ai, ok := m.index[c.Name]
+		if !ok {
+			continue
+		}
+		if k, ok2 := keyOf(c.Value); ok2 && c.Op == event.OpEq {
+			ai.eq[k] = removeRef(ai.eq[k], ff)
+			if len(ai.eq[k]) == 0 {
+				delete(ai.eq, k)
+			}
+		}
+		ai.less = removeOrdered(ai.less, ff)
+		ai.greater = removeOrdered(ai.greater, ff)
+		ai.linear = removeRef(ai.linear, ff)
+		ai.exists = removeRef(ai.exists, ff)
+		if len(ai.eq) == 0 && len(ai.less) == 0 && len(ai.greater) == 0 &&
+			len(ai.linear) == 0 && len(ai.exists) == 0 {
+			delete(m.index, c.Name)
+		}
+	}
+}
+
+// SubscriptionCount implements Matcher.
+func (m *FastMatcher) SubscriptionCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// Match implements Matcher via the counting algorithm: one pass over
+// the event's attributes, bumping a counter per touched filter; filters
+// whose every constraint is satisfied match. Empty filters match
+// everything. Counters live in pooled epoch-stamped arrays so the hot
+// path performs no per-match allocation or map hashing.
+func (m *FastMatcher) Match(e *event.Event) []ident.ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	sc, _ := m.scratch.Get().(*matchScratch)
+	if len(sc.counts) < len(m.dense) {
+		sc.counts = make([]int32, len(m.dense)+16)
+		sc.stamps = make([]uint32, len(m.dense)+16)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stamps are stale, reset
+		for i := range sc.stamps {
+			sc.stamps[i] = 0
+		}
+		sc.epoch = 1
+	}
+	defer m.scratch.Put(sc)
+
+	var matched []*fastFilter
+	bump := func(ref *constraintRef) {
+		i := ref.f.idx
+		if sc.stamps[i] != sc.epoch {
+			sc.stamps[i] = sc.epoch
+			sc.counts[i] = 0
+		}
+		sc.counts[i]++
+		if sc.counts[i] == ref.f.need {
+			matched = append(matched, ref.f)
+		}
+	}
+
+	e.Range(func(name string, v event.Value) bool {
+		ai, ok := m.index[name]
+		if !ok {
+			return true
+		}
+		for _, ref := range ai.exists {
+			bump(ref)
+		}
+		for _, k := range probeKeys(v) {
+			for _, ref := range ai.eq[k] {
+				bump(ref)
+			}
+		}
+		if n, ok := valueAsNumeric(v); ok {
+			// less: satisfied when n < bound (or <= for incl).
+			i := sort.Search(len(ai.less), func(i int) bool {
+				return ai.less[i].bound >= n
+			})
+			for ; i < len(ai.less); i++ {
+				r := ai.less[i]
+				if n < r.bound || (r.incl && n == r.bound) {
+					bump(r.ref)
+				}
+			}
+			// greater: satisfied when n > bound (or >= for incl).
+			j := sort.Search(len(ai.greater), func(i int) bool {
+				return ai.greater[i].bound > n
+			})
+			for k := 0; k < j; k++ {
+				r := ai.greater[k]
+				if n > r.bound || (r.incl && n == r.bound) {
+					bump(r.ref)
+				}
+			}
+		}
+		for _, ref := range ai.linear {
+			if ref.c.MatchValue(v) {
+				bump(ref)
+			}
+		}
+		return true
+	})
+
+	seen := make(map[ident.ID]bool, 8)
+	var out []ident.ID
+	for _, ff := range matched {
+		if !seen[ff.sub] {
+			seen[ff.sub] = true
+			out = append(out, ff.sub)
+		}
+	}
+	// Empty filters (need == 0) never enter the index; they match all.
+	for sub, list := range m.subs {
+		if seen[sub] {
+			continue
+		}
+		for _, ff := range list {
+			if ff.need == 0 {
+				seen[sub] = true
+				out = append(out, sub)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// valueAsNumeric mirrors the event package's numeric projection (ints
+// and floats compare by magnitude) without exporting its internals.
+func valueAsNumeric(v event.Value) (float64, bool) {
+	if f, ok := v.Float(); ok {
+		return f, true
+	}
+	if i, ok := v.Int(); ok {
+		return float64(i), true
+	}
+	return 0, false
+}

@@ -1,0 +1,406 @@
+package matcher
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// both runs a subtest against each engine.
+func both(t *testing.T, fn func(t *testing.T, m Matcher)) {
+	t.Helper()
+	for _, kind := range []Kind{KindSiena, KindFast} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			m, err := New(kind)
+			if err != nil {
+				t.Fatalf("New(%s): %v", kind, err)
+			}
+			fn(t, m)
+		})
+	}
+}
+
+func idsEqual(a, b []ident.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]ident.ID(nil), a...)
+	bs := append([]ident.ID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("nope")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBasicMatch(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		sub := ident.New(1)
+		f := event.NewFilter().WhereType("alarm").Where("value", event.OpGt, event.Int(100))
+		if err := m.Subscribe(sub, f); err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		hit := event.NewTyped("alarm").SetInt("value", 150)
+		if got := m.Match(hit); !idsEqual(got, []ident.ID{sub}) {
+			t.Errorf("Match(hit) = %v", got)
+		}
+		miss := event.NewTyped("alarm").SetInt("value", 50)
+		if got := m.Match(miss); len(got) != 0 {
+			t.Errorf("Match(miss) = %v", got)
+		}
+		wrong := event.NewTyped("reading").SetInt("value", 150)
+		if got := m.Match(wrong); len(got) != 0 {
+			t.Errorf("Match(wrong type) = %v", got)
+		}
+	})
+}
+
+func TestEmptyFilterMatchesAll(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		sub := ident.New(9)
+		if err := m.Subscribe(sub, event.NewFilter()); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Match(event.New()); !idsEqual(got, []ident.ID{sub}) {
+			t.Errorf("empty filter missed empty event: %v", got)
+		}
+		if got := m.Match(event.NewTyped("x").SetInt("v", 1)); !idsEqual(got, []ident.ID{sub}) {
+			t.Errorf("empty filter missed typed event: %v", got)
+		}
+	})
+}
+
+func TestDistinctSubscribersDeduplicated(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		sub := ident.New(2)
+		f1 := event.NewFilter().WhereType("alarm")
+		f2 := event.NewFilter().Where("value", event.OpExists, event.Value{})
+		if err := m.Subscribe(sub, f1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Subscribe(sub, f2); err != nil {
+			t.Fatal(err)
+		}
+		e := event.NewTyped("alarm").SetInt("value", 1)
+		if got := m.Match(e); !idsEqual(got, []ident.ID{sub}) {
+			t.Errorf("Match = %v, want single dedup'd subscriber", got)
+		}
+	})
+}
+
+func TestSubscribeIdempotent(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		sub := ident.New(3)
+		f := event.NewFilter().WhereType("x")
+		if err := m.Subscribe(sub, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Subscribe(sub, f.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if n := m.SubscriptionCount(); n != 1 {
+			t.Errorf("count = %d, want 1", n)
+		}
+	})
+}
+
+func TestUnsubscribe(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		sub := ident.New(4)
+		f := event.NewFilter().WhereType("x")
+		if err := m.Subscribe(sub, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Unsubscribe(sub, f.Clone()); err != nil {
+			t.Fatalf("unsubscribe: %v", err)
+		}
+		if got := m.Match(event.NewTyped("x")); len(got) != 0 {
+			t.Errorf("match after unsubscribe: %v", got)
+		}
+		if err := m.Unsubscribe(sub, f); err == nil {
+			t.Error("double unsubscribe succeeded")
+		}
+		if n := m.SubscriptionCount(); n != 0 {
+			t.Errorf("count = %d", n)
+		}
+	})
+}
+
+func TestUnsubscribeAll(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		a, b := ident.New(5), ident.New(6)
+		for i := 0; i < 5; i++ {
+			f := event.NewFilter().Where("k", event.OpEq, event.Int(int64(i)))
+			if err := m.Subscribe(a, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fb := event.NewFilter().Where("k", event.OpEq, event.Int(2))
+		if err := m.Subscribe(b, fb); err != nil {
+			t.Fatal(err)
+		}
+		m.UnsubscribeAll(a)
+		if n := m.SubscriptionCount(); n != 1 {
+			t.Errorf("count after UnsubscribeAll = %d, want 1", n)
+		}
+		got := m.Match(event.New().SetInt("k", 2))
+		if !idsEqual(got, []ident.ID{b}) {
+			t.Errorf("Match = %v, want only b", got)
+		}
+	})
+}
+
+func TestNilAndInvalidFilters(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		if err := m.Subscribe(ident.New(7), nil); err == nil {
+			t.Error("nil filter accepted")
+		}
+		bad := event.NewFilter().Where("", event.OpEq, event.Int(1))
+		if err := m.Subscribe(ident.New(7), bad); err == nil {
+			t.Error("invalid filter accepted")
+		}
+		if err := m.Unsubscribe(ident.New(7), nil); err == nil {
+			t.Error("nil unsubscribe accepted")
+		}
+	})
+}
+
+func TestStringAndRangeOperators(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		subs := map[string]*event.Filter{
+			"prefix":   event.NewFilter().Where("s", event.OpPrefix, event.Str("ab")),
+			"suffix":   event.NewFilter().Where("s", event.OpSuffix, event.Str("yz")),
+			"contains": event.NewFilter().Where("s", event.OpContains, event.Str("mid")),
+			"ne":       event.NewFilter().Where("s", event.OpNe, event.Str("skip")),
+			"range":    event.NewFilter().Where("v", event.OpGe, event.Float(1.5)).Where("v", event.OpLt, event.Int(10)),
+		}
+		ids := map[string]ident.ID{}
+		next := uint64(100)
+		for name, f := range subs {
+			id := ident.New(next)
+			next++
+			ids[name] = id
+			if err := m.Subscribe(id, f); err != nil {
+				t.Fatalf("subscribe %s: %v", name, err)
+			}
+		}
+
+		got := m.Match(event.New().SetStr("s", "ab-mid-yz").SetFloat("v", 5))
+		want := []ident.ID{ids["prefix"], ids["suffix"], ids["contains"], ids["ne"], ids["range"]}
+		if !idsEqual(got, want) {
+			t.Errorf("Match = %v, want %v", got, want)
+		}
+
+		got = m.Match(event.New().SetStr("s", "skip").SetFloat("v", 10))
+		if len(got) != 0 {
+			t.Errorf("Match(skip,10) = %v, want none", got)
+		}
+	})
+}
+
+func TestBytesEqualityViaLinearPath(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		sub := ident.New(11)
+		f := event.NewFilter().Where("raw", event.OpEq, event.Bytes([]byte{1, 2}))
+		if err := m.Subscribe(sub, f); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Match(event.New().SetBytes("raw", []byte{1, 2})); !idsEqual(got, []ident.ID{sub}) {
+			t.Errorf("bytes eq missed: %v", got)
+		}
+		if got := m.Match(event.New().SetBytes("raw", []byte{1, 3})); len(got) != 0 {
+			t.Errorf("bytes mismatch matched: %v", got)
+		}
+	})
+}
+
+// randomWorkload builds a deterministic random set of filters and
+// events exercising all operators and value kinds.
+type randomWorkload struct {
+	subs    []ident.ID
+	filters []*event.Filter
+	events  []*event.Event
+}
+
+func makeWorkload(seed int64, nFilters, nEvents int) randomWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"type", "value", "unit", "seq", "flag", "raw"}
+	ops := []event.Op{
+		event.OpEq, event.OpNe, event.OpLt, event.OpLe, event.OpGt,
+		event.OpGe, event.OpPrefix, event.OpSuffix, event.OpContains,
+		event.OpExists,
+	}
+	strs := []string{"alarm", "reading", "alpha", "beta", "albatross", "readout"}
+
+	randomValue := func() event.Value {
+		switch rng.Intn(5) {
+		case 0:
+			return event.Int(int64(rng.Intn(20) - 10))
+		case 1:
+			return event.Float(float64(rng.Intn(40))/2 - 10)
+		case 2:
+			return event.Str(strs[rng.Intn(len(strs))])
+		case 3:
+			return event.Bool(rng.Intn(2) == 0)
+		default:
+			return event.Bytes([]byte(strs[rng.Intn(len(strs))]))
+		}
+	}
+
+	var w randomWorkload
+	for i := 0; i < nFilters; i++ {
+		f := event.NewFilter()
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			name := names[rng.Intn(len(names))]
+			op := ops[rng.Intn(len(ops))]
+			if op == event.OpExists {
+				f.Where(name, op, event.Value{})
+			} else {
+				f.Where(name, op, randomValue())
+			}
+		}
+		w.filters = append(w.filters, f)
+		w.subs = append(w.subs, ident.New(uint64(1000+i)))
+	}
+	for i := 0; i < nEvents; i++ {
+		e := event.New()
+		for a := 0; a < rng.Intn(5); a++ {
+			e.Set(names[rng.Intn(len(names))], randomValue())
+		}
+		w.events = append(w.events, e)
+	}
+	return w
+}
+
+// TestEngineEquivalence is the core differential property: both
+// matching engines must produce identical results for any workload —
+// the paper's two buses differ in mechanism, not semantics.
+func TestEngineEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		w := makeWorkload(seed, 60, 200)
+		siena, fast := NewSiena(), NewFast()
+		for i, f := range w.filters {
+			if err := siena.Subscribe(w.subs[i], f); err != nil {
+				t.Fatalf("siena subscribe: %v", err)
+			}
+			if err := fast.Subscribe(w.subs[i], f); err != nil {
+				t.Fatalf("fast subscribe: %v", err)
+			}
+		}
+		for i, e := range w.events {
+			gs, gf := siena.Match(e), fast.Match(e)
+			if !idsEqual(gs, gf) {
+				// Identify the disagreeing filter by brute force.
+				for j, f := range w.filters {
+					want := f.Matches(e)
+					t.Logf("filter %d (%s) direct=%v", j, f, want)
+				}
+				t.Fatalf("seed %d event %d (%s): siena=%v fast=%v", seed, i, e, gs, gf)
+			}
+			// Both must agree with direct evaluation.
+			var want []ident.ID
+			seen := map[ident.ID]bool{}
+			for j, f := range w.filters {
+				if f.Matches(e) && !seen[w.subs[j]] {
+					seen[w.subs[j]] = true
+					want = append(want, w.subs[j])
+				}
+			}
+			if !idsEqual(gf, want) {
+				t.Fatalf("seed %d event %d: engines=%v direct=%v", seed, i, gf, want)
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceUnderChurn interleaves subscribes, unsubscribes
+// and matches.
+func TestEngineEquivalenceUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	w := makeWorkload(42, 40, 1)
+	siena, fast := NewSiena(), NewFast()
+	installed := map[int]bool{}
+
+	for step := 0; step < 800; step++ {
+		i := rng.Intn(len(w.filters))
+		switch {
+		case !installed[i]:
+			if err := siena.Subscribe(w.subs[i], w.filters[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := fast.Subscribe(w.subs[i], w.filters[i]); err != nil {
+				t.Fatal(err)
+			}
+			installed[i] = true
+		case rng.Intn(2) == 0:
+			if err := siena.Unsubscribe(w.subs[i], w.filters[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := fast.Unsubscribe(w.subs[i], w.filters[i]); err != nil {
+				t.Fatal(err)
+			}
+			installed[i] = false
+		default:
+			fast.UnsubscribeAll(w.subs[i])
+			siena.UnsubscribeAll(w.subs[i])
+			installed[i] = false
+		}
+		if siena.SubscriptionCount() != fast.SubscriptionCount() {
+			t.Fatalf("count divergence: %d vs %d", siena.SubscriptionCount(), fast.SubscriptionCount())
+		}
+		ew := makeWorkload(int64(step), 0, 3)
+		for _, e := range ew.events {
+			if gs, gf := siena.Match(e), fast.Match(e); !idsEqual(gs, gf) {
+				t.Fatalf("step %d: siena=%v fast=%v for %s", step, gs, gf, e)
+			}
+		}
+	}
+}
+
+func TestConcurrentMatchAndSubscribe(t *testing.T) {
+	both(t, func(t *testing.T, m Matcher) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 200; i++ {
+				f := event.NewFilter().Where("k", event.OpEq, event.Int(int64(i%10)))
+				_ = m.Subscribe(ident.New(uint64(i%7+1)), f)
+				if i%3 == 0 {
+					_ = m.Unsubscribe(ident.New(uint64(i%7+1)), f)
+				}
+			}
+		}()
+		for i := 0; i < 200; i++ {
+			m.Match(event.New().SetInt("k", int64(i%10)))
+		}
+		<-done
+	})
+}
+
+func TestNames(t *testing.T) {
+	if NewSiena().Name() != "siena" || NewFast().Name() != "fast" {
+		t.Error("engine names wrong")
+	}
+}
+
+func ExampleNew() {
+	m, _ := New(KindFast)
+	_ = m.Subscribe(ident.New(1), event.NewFilter().WhereType("alarm"))
+	matches := m.Match(event.NewTyped("alarm"))
+	fmt.Println(len(matches))
+	// Output: 1
+}

@@ -1,0 +1,240 @@
+package matcher
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// TypedMatcher implements the type-based publish/subscribe mechanism
+// the paper names as intended future work (§VI: "we also intend to
+// replace the content-based publish/subscribe mechanism with a
+// type-based publish/subscribe mechanism, to remove the reliance on
+// arbitrary tags as event identifiers", citing Eugster et al.).
+//
+// Events are classified by their "type" attribute interpreted as a
+// '/'-separated path ("reading/heart-rate"); a subscription to a type
+// receives that type and every subtype, mirroring subtype polymorphism
+// in type-based pub/sub. Additional constraints in a subscription
+// filter are still applied as content guards after the type check —
+// the hybrid Eugster et al. describe.
+//
+// TypedMatcher implements the same Matcher interface as the two
+// content-based engines, so the bus can host it unchanged. A filter
+// installed without a type-equality constraint is rejected: under
+// type-based pub/sub the type is the unit of subscription.
+type TypedMatcher struct {
+	mu sync.RWMutex
+	// root indexes subscriptions by type-path segment.
+	root *typeNode
+	// bySub tracks installed filters per subscriber for Unsubscribe.
+	bySub map[ident.ID][]*typedSub
+	count int
+}
+
+var _ Matcher = (*TypedMatcher)(nil)
+
+type typeNode struct {
+	children map[string]*typeNode
+	// subs are subscriptions rooted exactly here; they match events
+	// whose type path passes through this node.
+	subs []*typedSub
+}
+
+type typedSub struct {
+	sub    ident.ID
+	filter *event.Filter // original filter, for equality
+	guards []event.Constraint
+	node   *typeNode
+}
+
+// KindTyped selects the type-based engine in matcher.New.
+const KindTyped Kind = "typed"
+
+// NewTyped returns an empty TypedMatcher.
+func NewTypedMatcher() *TypedMatcher {
+	return &TypedMatcher{
+		root:  newTypeNode(),
+		bySub: make(map[ident.ID][]*typedSub),
+	}
+}
+
+func newTypeNode() *typeNode {
+	return &typeNode{children: make(map[string]*typeNode)}
+}
+
+// Name implements Matcher.
+func (m *TypedMatcher) Name() string { return string(KindTyped) }
+
+// typePathOf extracts the subscription's type path and residual
+// content guards. ok is false when the filter has no type-equality
+// constraint.
+func typePathOf(f *event.Filter) (path []string, guards []event.Constraint, ok bool) {
+	for _, c := range f.Constraints() {
+		if c.Name == event.AttrType && c.Op == event.OpEq {
+			if s, isStr := c.Value.Str(); isStr && s != "" {
+				path = splitTypePath(s)
+				ok = true
+				continue
+			}
+		}
+		guards = append(guards, c)
+	}
+	return path, guards, ok
+}
+
+func splitTypePath(s string) []string {
+	parts := strings.Split(s, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Subscribe implements Matcher. The filter must pin the event type.
+func (m *TypedMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
+	if f == nil {
+		return ErrNilFilter
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	path, guards, ok := typePathOf(f)
+	if !ok {
+		return ErrUntypedSubscription
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ts := range m.bySub[sub] {
+		if ts.filter.Equal(f) {
+			return nil // idempotent
+		}
+	}
+	node := m.root
+	for _, seg := range path {
+		child, okc := node.children[seg]
+		if !okc {
+			child = newTypeNode()
+			node.children[seg] = child
+		}
+		node = child
+	}
+	ts := &typedSub{sub: sub, filter: f.Clone(), guards: guards, node: node}
+	node.subs = append(node.subs, ts)
+	m.bySub[sub] = append(m.bySub[sub], ts)
+	m.count++
+	return nil
+}
+
+// ErrUntypedSubscription reports a subscription without a type
+// constraint, which type-based pub/sub cannot host.
+var ErrUntypedSubscription = typedErr("matcher: typed engine requires a type-equality constraint")
+
+type typedErr string
+
+func (e typedErr) Error() string { return string(e) }
+
+// Unsubscribe implements Matcher.
+func (m *TypedMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
+	if f == nil {
+		return ErrNilFilter
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := m.bySub[sub]
+	for i, ts := range list {
+		if !ts.filter.Equal(f) {
+			continue
+		}
+		m.bySub[sub] = append(list[:i], list[i+1:]...)
+		if len(m.bySub[sub]) == 0 {
+			delete(m.bySub, sub)
+		}
+		removeTypedSub(ts.node, ts)
+		m.count--
+		return nil
+	}
+	return ErrNoSuchSubscription
+}
+
+func removeTypedSub(n *typeNode, ts *typedSub) {
+	for i, have := range n.subs {
+		if have == ts {
+			n.subs = append(n.subs[:i], n.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// UnsubscribeAll implements Matcher.
+func (m *TypedMatcher) UnsubscribeAll(sub ident.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ts := range m.bySub[sub] {
+		removeTypedSub(ts.node, ts)
+		m.count--
+	}
+	delete(m.bySub, sub)
+}
+
+// SubscriptionCount implements Matcher.
+func (m *TypedMatcher) SubscriptionCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// Match implements Matcher: walk the event's type path from the root,
+// collecting subscriptions at every ancestor (a subscription to
+// "reading" sees "reading/heart-rate"), then apply content guards.
+func (m *TypedMatcher) Match(e *event.Event) []ident.ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	path := splitTypePath(e.Type())
+	seen := make(map[ident.ID]bool, 4)
+	var out []ident.ID
+	collect := func(n *typeNode) {
+		for _, ts := range n.subs {
+			if seen[ts.sub] {
+				continue
+			}
+			if guardsMatch(ts.guards, e) {
+				seen[ts.sub] = true
+				out = append(out, ts.sub)
+			}
+		}
+	}
+	node := m.root
+	collect(node) // subscriptions to the root type ("" = all types)
+	for _, seg := range path {
+		child, ok := node.children[seg]
+		if !ok {
+			return out
+		}
+		node = child
+		collect(node)
+	}
+	return out
+}
+
+func guardsMatch(guards []event.Constraint, e *event.Event) bool {
+	for _, c := range guards {
+		v, ok := e.Get(c.Name)
+		if c.Op == event.OpExists {
+			if !ok {
+				return false
+			}
+			continue
+		}
+		if !ok || !c.MatchValue(v) {
+			return false
+		}
+	}
+	return true
+}

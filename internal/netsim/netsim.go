@@ -1,0 +1,382 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/transport"
+)
+
+// Network is a simulated datagram network. Endpoints attach with an ID
+// and exchange byte arrays subject to the configured link profiles.
+// All methods are safe for concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	eps      map[ident.ID]*Endpoint
+	def      Profile
+	links    map[linkKey]Profile
+	blocked  map[linkKey]bool
+	isolated map[ident.ID]bool
+	nextFree map[linkKey]time.Time // link busy-until, for bandwidth serialisation
+	rng      *rand.Rand
+	scale    float64
+	closed   bool
+	stats    Stats
+
+	timers sync.WaitGroup
+}
+
+type linkKey struct{ from, to ident.ID }
+
+// Stats counts network activity since creation.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	Blocked    uint64
+	BytesSent  uint64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed fixes the RNG seed; simulations are deterministic given the
+// seed and a single-goroutine send order.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTimeScale multiplies every simulated delay (0.1 = 10x faster).
+func WithTimeScale(s float64) Option {
+	return func(n *Network) {
+		if s > 0 {
+			n.scale = s
+		}
+	}
+}
+
+// New builds a network whose links default to the given profile.
+func New(def Profile, opts ...Option) *Network {
+	n := &Network{
+		eps:      make(map[ident.ID]*Endpoint),
+		def:      def,
+		links:    make(map[linkKey]Profile),
+		blocked:  make(map[linkKey]bool),
+		isolated: make(map[ident.ID]bool),
+		nextFree: make(map[linkKey]time.Time),
+		rng:      rand.New(rand.NewSource(1)),
+		scale:    1,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Attach creates an endpoint with the given ID.
+func (n *Network) Attach(id ident.ID) (*Endpoint, error) {
+	if id.IsNil() || id.IsBroadcast() {
+		return nil, fmt.Errorf("netsim: cannot attach reserved ID %s", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, dup := n.eps[id]; dup {
+		return nil, fmt.Errorf("netsim: duplicate endpoint ID %s", id)
+	}
+	ep := &Endpoint{
+		id:     id,
+		net:    n,
+		queue:  make(chan transport.Datagram, 8192),
+		closed: make(chan struct{}),
+	}
+	n.eps[id] = ep
+	return ep, nil
+}
+
+// SetLinkProfile overrides the profile for the directed link from→to.
+func (n *Network) SetLinkProfile(from, to ident.ID, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = p
+}
+
+// SetLinkProfileBoth overrides both directions between a and b.
+func (n *Network) SetLinkProfileBoth(a, b ident.ID, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{a, b}] = p
+	n.links[linkKey{b, a}] = p
+}
+
+// Partition blocks both directions between a and b (failure injection).
+func (n *Network) Partition(a, b ident.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{a, b}] = true
+	n.blocked[linkKey{b, a}] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b ident.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, linkKey{a, b})
+	delete(n.blocked, linkKey{b, a})
+}
+
+// Isolate cuts an endpoint off entirely — the simulated equivalent of a
+// device walking out of radio range (§II-B transient disconnection).
+func (n *Network) Isolate(id ident.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[id] = true
+}
+
+// Restore reconnects an isolated endpoint.
+func (n *Network) Restore(id ident.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, id)
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts down the network and all endpoints, waiting for in-flight
+// deliveries to finish.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.eps = make(map[ident.ID]*Endpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.closeLocal()
+	}
+	n.timers.Wait()
+	return nil
+}
+
+// send routes one datagram, applying the link profile.
+func (n *Network) send(from, dst ident.ID, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return transport.ErrClosed
+	}
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(data))
+	if dst.IsBroadcast() {
+		for id := range n.eps {
+			if id == from {
+				continue
+			}
+			n.sendOneLocked(from, id, data)
+		}
+		return nil
+	}
+	if _, ok := n.eps[dst]; !ok {
+		// Unknown destination on a datagram network: silently lost,
+		// like UDP to a dead host. Reliability lives above.
+		n.stats.Dropped++
+		return nil
+	}
+	n.sendOneLocked(from, dst, data)
+	return nil
+}
+
+// sendOneLocked applies profile effects and schedules delivery.
+// Caller holds n.mu.
+func (n *Network) sendOneLocked(from, to ident.ID, data []byte) {
+	key := linkKey{from, to}
+	if n.blocked[key] || n.isolated[from] || n.isolated[to] {
+		n.stats.Blocked++
+		return
+	}
+	p, ok := n.links[key]
+	if !ok {
+		p = n.def
+	}
+	if len(data) > p.mtu() {
+		n.stats.Dropped++
+		return
+	}
+	if p.Loss > 0 && n.rng.Float64() < p.Loss {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.linkDelayLocked(key, p, len(data))
+	n.scheduleLocked(from, to, data, delay)
+	if p.Duplicate > 0 && n.rng.Float64() < p.Duplicate {
+		n.stats.Duplicated++
+		n.scheduleLocked(from, to, data, delay+n.scaled(p.Latency)/2+time.Millisecond)
+	}
+}
+
+// linkDelayLocked computes propagation + transmission delay, serialising
+// transmissions so that sustained throughput respects the bandwidth.
+func (n *Network) linkDelayLocked(key linkKey, p Profile, size int) time.Duration {
+	prop := p.Latency
+	if p.Jitter > 0 {
+		prop += time.Duration(n.rng.Int63n(int64(2*p.Jitter))) - p.Jitter
+		if prop < 0 {
+			prop = 0
+		}
+	}
+	var tx time.Duration
+	if p.Bandwidth > 0 {
+		tx = time.Duration(float64(size) / float64(p.Bandwidth) * float64(time.Second))
+	}
+	now := time.Now()
+	start := now
+	if busyUntil, ok := n.nextFree[key]; ok && busyUntil.After(now) {
+		start = busyUntil
+	}
+	finish := start.Add(n.scaled(tx))
+	n.nextFree[key] = finish
+	return finish.Sub(now) + n.scaled(prop)
+}
+
+func (n *Network) scaled(d time.Duration) time.Duration {
+	if n.scale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * n.scale)
+}
+
+// scheduleLocked arranges delivery after delay. Caller holds n.mu.
+// Zero-delay deliveries happen inline so that a perfect link preserves
+// send order, as a real point-to-point link does.
+func (n *Network) scheduleLocked(from, to ident.ID, data []byte, delay time.Duration) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if delay <= 0 {
+		ep, ok := n.eps[to]
+		if ok {
+			n.stats.Delivered++
+			ep.enqueue(transport.Datagram{From: from, Data: cp})
+		}
+		return
+	}
+	n.timers.Add(1)
+	time.AfterFunc(delay, func() {
+		defer n.timers.Done()
+		n.mu.Lock()
+		ep, ok := n.eps[to]
+		if ok {
+			n.stats.Delivered++
+		}
+		n.mu.Unlock()
+		if ok {
+			ep.enqueue(transport.Datagram{From: from, Data: cp})
+		}
+	})
+}
+
+func (n *Network) detach(id ident.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, id)
+}
+
+// Endpoint is one attachment point on the simulated network.
+type Endpoint struct {
+	id  ident.ID
+	net *Network
+
+	queue chan transport.Datagram
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// LocalID implements transport.Transport.
+func (e *Endpoint) LocalID() ident.ID { return e.id }
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(dst ident.ID, data []byte) error {
+	select {
+	case <-e.closed:
+		return transport.ErrClosed
+	default:
+	}
+	return e.net.send(e.id, dst, data)
+}
+
+func (e *Endpoint) enqueue(d transport.Datagram) {
+	select {
+	case <-e.closed:
+	case e.queue <- d:
+	default:
+		// Receive-buffer overflow: drop.
+	}
+}
+
+// Recv implements transport.Transport.
+func (e *Endpoint) Recv() (transport.Datagram, error) {
+	select {
+	case d := <-e.queue:
+		return d, nil
+	case <-e.closed:
+		select {
+		case d := <-e.queue:
+			return d, nil
+		default:
+			return transport.Datagram{}, transport.ErrClosed
+		}
+	}
+}
+
+// RecvTimeout implements transport.Transport.
+func (e *Endpoint) RecvTimeout(d time.Duration) (transport.Datagram, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case dg := <-e.queue:
+		return dg, nil
+	case <-timer.C:
+		return transport.Datagram{}, transport.ErrTimeout
+	case <-e.closed:
+		select {
+		case dg := <-e.queue:
+			return dg, nil
+		default:
+			return transport.Datagram{}, transport.ErrClosed
+		}
+	}
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.net.detach(e.id)
+		close(e.closed)
+	})
+	return nil
+}
+
+func (e *Endpoint) closeLocal() {
+	e.closeOnce.Do(func() {
+		close(e.closed)
+	})
+}

@@ -1,0 +1,30 @@
+package policy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedPolicyFileParses keeps examples/policies/ward.pol valid:
+// it is referenced by the README and loaded by smcd in demos.
+func TestShippedPolicyFileParses(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "policies", "ward.pol")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("shipped policy file unavailable: %v", err)
+	}
+	f, err := Parse(string(b))
+	if err != nil {
+		t.Fatalf("ward.pol does not parse: %v", err)
+	}
+	if len(f.Obligations) < 5 || len(f.Authorizations) < 2 {
+		t.Errorf("ward.pol content shrank: %d obligations, %d authorizations",
+			len(f.Obligations), len(f.Authorizations))
+	}
+	for _, o := range f.Obligations {
+		if err := o.Validate(); err != nil {
+			t.Errorf("obligation %q invalid: %v", o.Name, err)
+		}
+	}
+}

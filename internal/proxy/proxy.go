@@ -1,0 +1,336 @@
+// Package proxy implements the proxy architecture of §III-B: every
+// service granted membership of the SMC is represented inside the core
+// by a dedicated proxy object that
+//
+//   - translates between the device's native data format and fully
+//     fledged event objects (complex proxies for simple sensors, simple
+//     proxies for complex sensors);
+//   - queues outgoing events, preserving the ordering constraint, and
+//     resends events unacknowledged by the device;
+//   - destroys itself — discarding any outbound data awaiting delivery
+//     — when the service permanently leaves the SMC (Purge Member).
+//
+// A proxy is "an abstract class containing generic code applicable to
+// all SMC services, completed by a concrete class containing
+// implementation details specific to the device/service type": here the
+// generic part is the Proxy struct and the concrete part is the Device
+// interface.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// Sender is the slice of the reliable channel a proxy needs.
+type Sender interface {
+	Send(dst ident.ID, ptype wire.PacketType, payload []byte) error
+}
+
+// Publisher lets a proxy inject translated device data into the bus.
+type Publisher func(e *event.Event) error
+
+// Device is the concrete half of a proxy: the device-type-specific
+// translation logic. Implementations must be safe for use from the
+// proxy's goroutines.
+type Device interface {
+	// DeviceType names the device class this translator serves.
+	DeviceType() string
+	// TranslateIn converts raw device bytes (a PktData payload) into
+	// zero or more events to publish on the device's behalf.
+	TranslateIn(data []byte) ([]*event.Event, error)
+	// TranslateOut converts an outbound event into the device's
+	// native bytes. ok=false means no translation: the proxy forwards
+	// the encoded event itself (simple proxy for a complex service).
+	TranslateOut(e *event.Event) (data []byte, ok bool, err error)
+	// InitialSubscriptions returns filters the proxy installs on
+	// behalf of the device at creation ("the proxy itself might carry
+	// enough knowledge to register for appropriate events on behalf
+	// of the device", §III-B).
+	InitialSubscriptions() []*event.Filter
+}
+
+// GenericDevice is the pass-through Device: no translation either way
+// and no implicit subscriptions — a "mere forwarding mechanism between
+// the services".
+type GenericDevice struct {
+	Type string
+}
+
+var _ Device = (*GenericDevice)(nil)
+
+// DeviceType implements Device.
+func (g *GenericDevice) DeviceType() string {
+	if g.Type == "" {
+		return "generic"
+	}
+	return g.Type
+}
+
+// TranslateIn implements Device: raw data is decoded as a wire event.
+func (g *GenericDevice) TranslateIn(data []byte) ([]*event.Event, error) {
+	e, err := wire.DecodeEvent(data)
+	if err != nil {
+		return nil, fmt.Errorf("generic translate-in: %w", err)
+	}
+	return []*event.Event{e}, nil
+}
+
+// TranslateOut implements Device: no translation.
+func (g *GenericDevice) TranslateOut(*event.Event) ([]byte, bool, error) {
+	return nil, false, nil
+}
+
+// InitialSubscriptions implements Device.
+func (g *GenericDevice) InitialSubscriptions() []*event.Filter { return nil }
+
+// Config tunes proxy queueing and redelivery.
+type Config struct {
+	// QueueCap bounds the outbound queue (bounded memory on the
+	// target platform); enqueueing beyond it drops the oldest event.
+	QueueCap int
+	// RedeliveryInterval is the pause between delivery attempts after
+	// the reliable layer gave up, while the member is still in the
+	// cell (§VI: "queueing and repeating attempts to deliver events
+	// to services which are unavailable, but have not yet been
+	// declared to have left the SMC").
+	RedeliveryInterval time.Duration
+}
+
+// DefaultConfig returns the default proxy tuning.
+func DefaultConfig() Config {
+	return Config{
+		QueueCap:           512,
+		RedeliveryInterval: 250 * time.Millisecond,
+	}
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Enqueued         uint64
+	Delivered        uint64
+	Redeliveries     uint64
+	DroppedOldest    uint64
+	DiscardedOnPurge uint64
+	TranslatedIn     uint64
+	TranslatedOut    uint64
+}
+
+// Proxy is the generic proxy: outbound FIFO queue, delivery worker,
+// inbound translation.
+type Proxy struct {
+	member ident.ID
+	dev    Device
+	sender Sender
+	pub    Publisher
+	cfg    Config
+
+	mu      sync.Mutex
+	queue   []*event.Event
+	stats   Stats
+	stopped bool
+	inSeq   uint64 // per-member seq for translated device data
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a proxy for member using the given concrete device logic.
+// Start must be called before events are delivered.
+func New(member ident.ID, dev Device, sender Sender, pub Publisher, cfg Config) *Proxy {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultConfig().QueueCap
+	}
+	if cfg.RedeliveryInterval <= 0 {
+		cfg.RedeliveryInterval = DefaultConfig().RedeliveryInterval
+	}
+	return &Proxy{
+		member: member,
+		dev:    dev,
+		sender: sender,
+		pub:    pub,
+		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Member returns the represented member's ID.
+func (p *Proxy) Member() ident.ID { return p.member }
+
+// DeviceType returns the concrete device class.
+func (p *Proxy) DeviceType() string { return p.dev.DeviceType() }
+
+// InitialSubscriptions exposes the device's implicit filters.
+func (p *Proxy) InitialSubscriptions() []*event.Filter {
+	return p.dev.InitialSubscriptions()
+}
+
+// Start launches the delivery worker.
+func (p *Proxy) Start() {
+	go p.deliverLoop()
+}
+
+// Enqueue appends an outbound event to the FIFO queue. When the queue
+// is full the oldest event is dropped (bounded memory); this is counted
+// in Stats.DroppedOldest.
+func (p *Proxy) Enqueue(e *event.Event) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	if len(p.queue) >= p.cfg.QueueCap {
+		p.queue = p.queue[1:]
+		p.stats.DroppedOldest++
+	}
+	p.queue = append(p.queue, e)
+	p.stats.Enqueued++
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// QueueLen reports the number of events awaiting delivery.
+func (p *Proxy) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// HandleInbound translates raw device bytes and publishes the resulting
+// events on the member's behalf ("Incoming data from devices are also
+// sent to the proxy, to perform pre-processing of that data into fully
+// fledged data objects", §III-B).
+func (p *Proxy) HandleInbound(data []byte) error {
+	events, err := p.dev.TranslateIn(data)
+	if err != nil {
+		return fmt.Errorf("proxy %s translate-in: %w", p.member, err)
+	}
+	p.mu.Lock()
+	p.stats.TranslatedIn += uint64(len(events))
+	p.mu.Unlock()
+	for _, e := range events {
+		e.Sender = p.member
+		p.mu.Lock()
+		p.inSeq++
+		e.Seq = p.inSeq
+		p.mu.Unlock()
+		if err := p.pub(e); err != nil {
+			return fmt.Errorf("proxy %s publish: %w", p.member, err)
+		}
+	}
+	return nil
+}
+
+// Purge stops the worker and discards any outbound data awaiting
+// delivery — the proxy destroying itself on a Purge Member event.
+func (p *Proxy) Purge() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.stats.DiscardedOnPurge += uint64(len(p.queue))
+	p.queue = nil
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Proxy) deliverLoop() {
+	defer close(p.done)
+	for {
+		e, ok := p.next()
+		if !ok {
+			select {
+			case <-p.wake:
+				continue
+			case <-p.stop:
+				return
+			}
+		}
+		if !p.deliverOne(e) {
+			return // stopped during redelivery
+		}
+	}
+}
+
+// next pops the head of the queue.
+func (p *Proxy) next() (*event.Event, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil, false
+	}
+	e := p.queue[0]
+	p.queue = p.queue[1:]
+	return e, true
+}
+
+// deliverOne pushes one event to the device, retrying after reliable
+// failures until success or purge. It reports false when the proxy was
+// stopped.
+func (p *Proxy) deliverOne(e *event.Event) bool {
+	var (
+		ptype   wire.PacketType
+		payload []byte
+	)
+	raw, ok, err := p.dev.TranslateOut(e)
+	switch {
+	case err != nil:
+		// A translation error is a device-specific malfunction: the
+		// event cannot ever be delivered; drop it.
+		return true
+	case ok:
+		ptype, payload = wire.PktData, raw
+		p.mu.Lock()
+		p.stats.TranslatedOut++
+		p.mu.Unlock()
+	default:
+		ptype, payload = wire.PktEvent, wire.EncodeEvent(e)
+	}
+
+	for {
+		err := p.sender.Send(p.member, ptype, payload)
+		if err == nil {
+			p.mu.Lock()
+			p.stats.Delivered++
+			p.mu.Unlock()
+			return true
+		}
+		if errors.Is(err, reliable.ErrClosed) {
+			return false
+		}
+		// Member unreachable but not yet purged: wait and resend.
+		p.mu.Lock()
+		p.stats.Redeliveries++
+		p.mu.Unlock()
+		timer := time.NewTimer(p.cfg.RedeliveryInterval)
+		select {
+		case <-p.stop:
+			timer.Stop()
+			return false
+		case <-timer.C:
+		}
+	}
+}

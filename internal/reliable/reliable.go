@@ -1,0 +1,383 @@
+// Package reliable layers the paper's delivery semantics (§II-C) over
+// an unreliable datagram transport:
+//
+//   - every reliable packet is acknowledged by the receiver; the sender
+//     retransmits with backoff until acked or out of retries (Fig. 3's
+//     synchronous acknowledged calls);
+//   - per-sender FIFO: a sender keeps at most one reliable packet in
+//     flight per destination (stop-and-wait), so packets cannot
+//     overtake one another;
+//   - at-most-once: the receiver suppresses duplicates created by
+//     retransmission using the per-sender sequence number.
+//
+// Unreliable sends (FlagNoAck) bypass all of this: discovery beacons
+// and heartbeats tolerate loss by design (§II-B).
+package reliable
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/transport"
+	"github.com/amuse/smc/internal/wire"
+)
+
+var (
+	// ErrGaveUp reports retransmission exhaustion: the destination
+	// did not acknowledge within the retry budget.
+	ErrGaveUp = errors.New("reliable: gave up after retries")
+	// ErrClosed reports use of a closed channel.
+	ErrClosed = errors.New("reliable: closed")
+)
+
+// Stats counts channel activity.
+type Stats struct {
+	Sent          uint64
+	Acked         uint64
+	Retransmits   uint64
+	Failures      uint64
+	Received      uint64
+	DupsDropped   uint64
+	StaleAcks     uint64
+	UnreliableIn  uint64
+	UnreliableOut uint64
+}
+
+// Config tunes the retransmission machinery.
+type Config struct {
+	// RetryTimeout is the initial ack wait; it doubles per attempt up
+	// to MaxRetryTimeout.
+	RetryTimeout time.Duration
+	// MaxRetryTimeout caps the backoff (default 10× RetryTimeout).
+	MaxRetryTimeout time.Duration
+	// MaxRetries bounds retransmissions (total attempts = 1+MaxRetries).
+	MaxRetries int
+	// QueueDepth sizes the inbound delivery queue.
+	QueueDepth int
+}
+
+// DefaultConfig suits the simulated wireless profiles.
+func DefaultConfig() Config {
+	return Config{
+		RetryTimeout: 50 * time.Millisecond,
+		MaxRetries:   6,
+		QueueDepth:   1024,
+	}
+}
+
+// Channel is a reliable packet conduit over one transport endpoint.
+type Channel struct {
+	tr  transport.Transport
+	cfg Config
+
+	mu      sync.Mutex
+	out     map[ident.ID]*destState
+	lastIn  map[ident.ID]uint64
+	waiters map[ackKey]chan struct{}
+	stats   Stats
+	closed  bool
+
+	inbound chan *wire.Packet
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type destState struct {
+	mu  sync.Mutex // serialises sends to this destination (stop-and-wait)
+	seq uint64
+}
+
+type ackKey struct {
+	dst ident.ID
+	seq uint64
+}
+
+// New wraps a transport endpoint and starts the receive loop. Close the
+// channel (not the transport directly) when done.
+func New(tr transport.Transport, cfg Config) *Channel {
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = DefaultConfig().RetryTimeout
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultConfig().QueueDepth
+	}
+	if cfg.MaxRetryTimeout <= 0 {
+		cfg.MaxRetryTimeout = 10 * cfg.RetryTimeout
+	}
+	c := &Channel{
+		tr:      tr,
+		cfg:     cfg,
+		out:     make(map[ident.ID]*destState),
+		lastIn:  make(map[ident.ID]uint64),
+		waiters: make(map[ackKey]chan struct{}),
+		inbound: make(chan *wire.Packet, cfg.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c
+}
+
+// LocalID returns the underlying endpoint's ID.
+func (c *Channel) LocalID() ident.ID { return c.tr.LocalID() }
+
+// Stats returns a snapshot of the counters.
+func (c *Channel) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Send transmits a reliable packet of the given type and payload to dst
+// and blocks until the destination acknowledges it or the retry budget
+// is exhausted. Sends to one destination are serialised (FIFO).
+func (c *Channel) Send(dst ident.ID, ptype wire.PacketType, payload []byte) error {
+	if dst.IsBroadcast() {
+		return errors.New("reliable: broadcast sends must be unreliable")
+	}
+	ds := c.dest(dst)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	ds.seq++
+	seq := ds.seq
+	key := ackKey{dst: dst, seq: seq}
+	ackCh := make(chan struct{})
+	c.waiters[key] = ackCh
+	c.stats.Sent++
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, key)
+		c.mu.Unlock()
+	}()
+
+	pkt := &wire.Packet{Type: ptype, Sender: c.tr.LocalID(), Seq: seq, Payload: payload}
+	buf, err := pkt.MarshalBytes()
+	if err != nil {
+		return fmt.Errorf("reliable marshal: %w", err)
+	}
+
+	timeout := c.cfg.RetryTimeout
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			pkt.Flags |= wire.FlagRetransmit
+			buf, err = pkt.MarshalBytes()
+			if err != nil {
+				return fmt.Errorf("reliable marshal: %w", err)
+			}
+			c.mu.Lock()
+			c.stats.Retransmits++
+			c.mu.Unlock()
+		}
+		if err := c.tr.Send(dst, buf); err != nil &&
+			!errors.Is(err, transport.ErrUnknownDest) {
+			return fmt.Errorf("reliable send: %w", err)
+		}
+		timer := time.NewTimer(timeout)
+		select {
+		case <-ackCh:
+			timer.Stop()
+			c.mu.Lock()
+			c.stats.Acked++
+			c.mu.Unlock()
+			return nil
+		case <-c.done:
+			timer.Stop()
+			return ErrClosed
+		case <-timer.C:
+		}
+		if attempt >= c.cfg.MaxRetries {
+			c.mu.Lock()
+			c.stats.Failures++
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s seq=%d to %s", ErrGaveUp, ptype, seq, dst)
+		}
+		if timeout < c.cfg.MaxRetryTimeout {
+			timeout *= 2
+			if timeout > c.cfg.MaxRetryTimeout {
+				timeout = c.cfg.MaxRetryTimeout
+			}
+		}
+	}
+}
+
+// SendUnreliable transmits a fire-and-forget packet (FlagNoAck). It may
+// be broadcast.
+func (c *Channel) SendUnreliable(dst ident.ID, ptype wire.PacketType, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.stats.UnreliableOut++
+	c.mu.Unlock()
+	pkt := &wire.Packet{
+		Type:    ptype,
+		Flags:   wire.FlagNoAck,
+		Sender:  c.tr.LocalID(),
+		Payload: payload,
+	}
+	buf, err := pkt.MarshalBytes()
+	if err != nil {
+		return fmt.Errorf("reliable marshal: %w", err)
+	}
+	if err := c.tr.Send(dst, buf); err != nil &&
+		!errors.Is(err, transport.ErrUnknownDest) {
+		return fmt.Errorf("unreliable send: %w", err)
+	}
+	return nil
+}
+
+// Recv blocks for the next delivered packet. Reliable packets have been
+// acknowledged and deduplicated; unreliable ones are passed through.
+func (c *Channel) Recv() (*wire.Packet, error) {
+	select {
+	case p := <-c.inbound:
+		return p, nil
+	case <-c.done:
+		select {
+		case p := <-c.inbound:
+			return p, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// RecvTimeout is Recv with a deadline.
+func (c *Channel) RecvTimeout(d time.Duration) (*wire.Packet, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case p := <-c.inbound:
+		return p, nil
+	case <-timer.C:
+		return nil, transport.ErrTimeout
+	case <-c.done:
+		select {
+		case p := <-c.inbound:
+			return p, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Forget discards reliability state for a purged member so that a
+// returning device with the same ID starts a fresh stream.
+func (c *Channel) Forget(id ident.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.lastIn, id)
+	delete(c.out, id)
+}
+
+// Close stops the receive loop and closes the underlying transport.
+func (c *Channel) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	err := c.tr.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Channel) dest(dst ident.ID) *destState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.out[dst]
+	if !ok {
+		ds = &destState{}
+		c.out[dst] = ds
+	}
+	return ds
+}
+
+func (c *Channel) recvLoop() {
+	defer c.wg.Done()
+	for {
+		dg, err := c.tr.Recv()
+		if err != nil {
+			return
+		}
+		pkt, err := wire.Unmarshal(dg.Data)
+		if err != nil {
+			// Corrupted or foreign datagram: drop silently, as a
+			// datagram network must tolerate.
+			continue
+		}
+		pkt.ClonePayload()
+		c.handle(pkt)
+	}
+}
+
+func (c *Channel) handle(pkt *wire.Packet) {
+	switch {
+	case pkt.Type == wire.PktAck:
+		c.mu.Lock()
+		ch, ok := c.waiters[ackKey{dst: pkt.Sender, seq: pkt.Seq}]
+		if ok {
+			delete(c.waiters, ackKey{dst: pkt.Sender, seq: pkt.Seq})
+		} else {
+			c.stats.StaleAcks++
+		}
+		c.mu.Unlock()
+		if ok {
+			close(ch)
+		}
+	case pkt.Flags&wire.FlagNoAck != 0:
+		c.mu.Lock()
+		c.stats.UnreliableIn++
+		c.mu.Unlock()
+		c.deliver(pkt)
+	default:
+		c.mu.Lock()
+		last := c.lastIn[pkt.Sender]
+		dup := pkt.Seq <= last
+		if !dup {
+			c.lastIn[pkt.Sender] = pkt.Seq
+			c.stats.Received++
+		} else {
+			c.stats.DupsDropped++
+		}
+		c.mu.Unlock()
+		// Always (re-)acknowledge: the sender may have missed the
+		// previous ack.
+		ack := &wire.Packet{Type: wire.PktAck, Sender: c.tr.LocalID(), Seq: pkt.Seq}
+		if buf, err := ack.MarshalBytes(); err == nil {
+			_ = c.tr.Send(pkt.Sender, buf) // loss handled by sender retry
+		}
+		if !dup {
+			c.deliver(pkt)
+		}
+	}
+}
+
+func (c *Channel) deliver(pkt *wire.Packet) {
+	select {
+	case c.inbound <- pkt:
+	case <-c.done:
+	default:
+		// Inbound overflow: drop. The sender has already been acked;
+		// this models the bounded memory of the target platform.
+		// Sized queues make this effectively unreachable in tests.
+	}
+}

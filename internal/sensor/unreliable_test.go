@@ -1,0 +1,76 @@
+package sensor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// unreliableRecorder records which path each transmission used.
+type unreliableRecorder struct {
+	mu         sync.Mutex
+	reliable   int
+	unreliable int
+}
+
+func (u *unreliableRecorder) PublishRaw(data []byte) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.reliable++
+	return nil
+}
+
+func (u *unreliableRecorder) PublishRawUnreliable(data []byte) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.unreliable++
+	return nil
+}
+
+func (u *unreliableRecorder) counts() (int, int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.reliable, u.unreliable
+}
+
+func TestSimUnreliableOption(t *testing.T) {
+	rec := &unreliableRecorder{}
+	s := NewSim(KindTemperature, TemperatureWaveform(1), time.Second, rec, WithUnreliable(true))
+	for i := 0; i < 3; i++ {
+		if err := s.EmitOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, unrel := rec.counts()
+	if rel != 0 || unrel != 3 {
+		t.Errorf("reliable=%d unreliable=%d, want 0/3", rel, unrel)
+	}
+	if s.Sent() != 3 {
+		t.Errorf("sent = %d", s.Sent())
+	}
+}
+
+func TestSimUnreliableFallsBackWithoutSupport(t *testing.T) {
+	// chanPublisher (from sensor_test.go) does not implement the
+	// unreliable interface: the sim must fall back to the acked path.
+	pub := &chanPublisher{}
+	s := NewSim(KindTemperature, TemperatureWaveform(1), time.Second, pub, WithUnreliable(true))
+	if err := s.EmitOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if pub.count() != 1 {
+		t.Errorf("fallback publishes = %d", pub.count())
+	}
+}
+
+func TestSimDefaultIsReliable(t *testing.T) {
+	rec := &unreliableRecorder{}
+	s := NewSim(KindTemperature, TemperatureWaveform(1), time.Second, rec)
+	if err := s.EmitOnce(); err != nil {
+		t.Fatal(err)
+	}
+	rel, unrel := rec.counts()
+	if rel != 1 || unrel != 0 {
+		t.Errorf("reliable=%d unreliable=%d, want 1/0", rel, unrel)
+	}
+}

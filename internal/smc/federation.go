@@ -1,0 +1,145 @@
+package smc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/transport"
+)
+
+// Federation: the paper's introduction requires that self-managed
+// cells "be composable to form larger cells but also need to
+// collaborate and integrate with each other in peer-to-peer
+// relationships". A FederationLink realises the peer-to-peer half: it
+// joins a remote cell as an ordinary member (full discovery and
+// authentication), subscribes there with a content filter, and
+// republishes matching events into the home cell's bus tagged with
+// their origin.
+
+// AttrFederatedFrom marks events imported from another cell; links
+// never re-export already-federated events, so one-hop federation
+// cannot loop.
+const AttrFederatedFrom = "federated-from"
+
+// FederateConfig configures a federation link.
+type FederateConfig struct {
+	// Name identifies the gateway device in the remote cell.
+	Name string
+	// RemoteSecret is the remote cell's admission secret.
+	RemoteSecret []byte
+	// RemoteCell optionally pins the remote cell's name.
+	RemoteCell string
+	// Import selects which remote events are pulled into the home
+	// cell. A nil filter imports nothing (and is rejected).
+	Import *event.Filter
+	// Device tuning for the remote membership.
+	Device DeviceConfig
+}
+
+// FederationLink is a live one-directional import of remote events.
+type FederationLink struct {
+	dev   *Device
+	local interface {
+		Publish(e *event.Event) error
+	}
+	remoteCell string
+
+	mu       sync.Mutex
+	imported uint64
+	skipped  uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Federate joins the remote cell reachable over remoteTr and begins
+// importing events matching cfg.Import into the home cell.
+func Federate(home *Cell, remoteTr transport.Transport, cfg FederateConfig) (*FederationLink, error) {
+	if cfg.Import == nil {
+		return nil, errors.New("smc: federation needs an import filter")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "federation-gateway"
+	}
+	devCfg := cfg.Device
+	devCfg.Type = "federation-gateway"
+	devCfg.Name = cfg.Name
+	devCfg.Secret = cfg.RemoteSecret
+	devCfg.Cell = cfg.RemoteCell
+
+	dev, err := JoinCell(remoteTr, devCfg)
+	if err != nil {
+		return nil, fmt.Errorf("smc: federation join: %w", err)
+	}
+	if err := dev.Client.Subscribe(cfg.Import); err != nil {
+		_ = dev.Close()
+		return nil, fmt.Errorf("smc: federation subscribe: %w", err)
+	}
+	l := &FederationLink{
+		dev:        dev,
+		local:      home.Bus.Local("federation:" + dev.Join.Cell),
+		remoteCell: dev.Join.Cell,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go l.pump()
+	return l, nil
+}
+
+// RemoteCell reports the cell being imported from.
+func (l *FederationLink) RemoteCell() string { return l.remoteCell }
+
+// Imported reports how many events have been republished locally.
+func (l *FederationLink) Imported() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imported
+}
+
+// Skipped reports how many already-federated events were not
+// re-imported (loop prevention).
+func (l *FederationLink) Skipped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.skipped
+}
+
+func (l *FederationLink) pump() {
+	defer close(l.done)
+	for {
+		select {
+		case e := <-l.dev.Client.Events():
+			if e.Has(AttrFederatedFrom) {
+				l.mu.Lock()
+				l.skipped++
+				l.mu.Unlock()
+				continue
+			}
+			imported := e.Clone()
+			imported.SetStr(AttrFederatedFrom, l.remoteCell)
+			imported.SetInt("origin-sender", int64(e.Sender))
+			if err := l.local.Publish(imported); err != nil {
+				continue // home bus congested or closing; drop
+			}
+			l.mu.Lock()
+			l.imported++
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close leaves the remote cell and stops the pump.
+func (l *FederationLink) Close() error {
+	var err error
+	l.stopOnce.Do(func() {
+		close(l.stop)
+		<-l.done
+		err = l.dev.Leave()
+	})
+	return err
+}

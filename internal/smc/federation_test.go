@@ -1,0 +1,177 @@
+package smc_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/smc"
+)
+
+// newNamedCell builds a cell with a distinct name on the shared net.
+func newNamedCell(t *testing.T, net *netsim.Network, name string, base uint64) *smc.Cell {
+	t.Helper()
+	busTr, err := net.Attach(ident.New(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	discTr, err := net.Attach(ident.New(base + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCellConfig()
+	cfg.Cell = name
+	cell, err := smc.NewCell(busTr, discTr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Start()
+	t.Cleanup(func() { cell.Close() })
+	return cell
+}
+
+func TestFederationImportsMatchingEvents(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(81))
+	defer net.Close()
+
+	// Patient cell and ward cell. Note: both share one simulated
+	// radio space, so the federation pins the remote cell by name.
+	patient := newNamedCell(t, net, "patient-7", 0x30000)
+	ward := newNamedCell(t, net, "ward-3", 0x40000)
+
+	// The ward cell watches the patient cell's alarms.
+	link, err := smc.Federate(ward, attach(t, net, 0x50001), smc.FederateConfig{
+		Name:         "ward3-gw",
+		RemoteSecret: testSecret,
+		RemoteCell:   "patient-7",
+		Import:       event.NewFilter().WhereType("alarm"),
+	})
+	if err != nil {
+		t.Fatalf("federate: %v", err)
+	}
+	defer link.Close()
+	if link.RemoteCell() != "patient-7" {
+		t.Errorf("remote cell = %q", link.RemoteCell())
+	}
+
+	// A ward-side observer of the imported alarms.
+	seen := make(chan *event.Event, 4)
+	obs := ward.Bus.Local("observer")
+	if err := obs.Subscribe(event.NewFilter().WhereType("alarm"), func(e *event.Event) {
+		select {
+		case seen <- e:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A device in the patient cell raises an alarm.
+	dev, err := smc.JoinCell(attach(t, net, 0x50002), smc.DeviceConfig{
+		Type: "generic", Name: "hr-monitor", Secret: testSecret, Cell: "patient-7",
+	})
+	if err != nil {
+		t.Fatalf("join patient cell: %v", err)
+	}
+	defer dev.Close()
+	if err := dev.Client.Publish(event.NewTyped("alarm").SetFloat("value", 201)); err != nil {
+		t.Fatal(err)
+	}
+	// A non-matching event must not cross.
+	if err := dev.Client.Publish(event.NewTyped("reading").SetFloat("value", 70)); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case e := <-seen:
+		if v, ok := e.Get(smc.AttrFederatedFrom); !ok {
+			t.Error("imported event not tagged with origin cell")
+		} else if s, _ := v.Str(); s != "patient-7" {
+			t.Errorf("federated-from = %q", s)
+		}
+		if v, _ := e.Get("value"); !v.Equal(event.Float(201)) {
+			t.Errorf("value = %s", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("alarm did not cross the federation link")
+	}
+	// Nothing else crosses.
+	select {
+	case e := <-seen:
+		t.Fatalf("unexpected import: %s", e)
+	case <-time.After(300 * time.Millisecond):
+	}
+	if link.Imported() != 1 {
+		t.Errorf("Imported = %d", link.Imported())
+	}
+	_ = patient
+}
+
+func TestFederationLoopPrevention(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(82))
+	defer net.Close()
+	a := newNamedCell(t, net, "cell-a", 0x60000)
+	b := newNamedCell(t, net, "cell-b", 0x70000)
+
+	// Bidirectional links on the same event type.
+	ab, err := smc.Federate(b, attach(t, net, 0x80001), smc.FederateConfig{
+		RemoteSecret: testSecret, RemoteCell: "cell-a",
+		Import: event.NewFilter().WhereType("alarm"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ab.Close()
+	ba, err := smc.Federate(a, attach(t, net, 0x80002), smc.FederateConfig{
+		RemoteSecret: testSecret, RemoteCell: "cell-b",
+		Import: event.NewFilter().WhereType("alarm"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Close()
+
+	// Raise one alarm in cell A.
+	svc := a.Bus.Local("raiser")
+	if err := svc.Publish(event.NewTyped("alarm").SetInt("n", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// It crosses into B exactly once and must not echo back into A.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ab.Imported() >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ab.Imported() != 1 {
+		t.Fatalf("a→b imported = %d", ab.Imported())
+	}
+	// The reverse link sees the imported copy and must skip it: wait
+	// for the skip, then assert nothing was echoed back.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && ba.Skipped() == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ba.Skipped() == 0 {
+		t.Error("loop prevention never triggered")
+	}
+	time.Sleep(200 * time.Millisecond) // any echo would land by now
+	if ba.Imported() != 0 {
+		t.Errorf("b→a imported = %d (federation loop)", ba.Imported())
+	}
+}
+
+func TestFederationRequiresFilter(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(83))
+	defer net.Close()
+	cell := newNamedCell(t, net, "solo", 0x90000)
+	if _, err := smc.Federate(cell, attach(t, net, 0x90009), smc.FederateConfig{
+		RemoteSecret: testSecret,
+	}); err == nil {
+		t.Fatal("nil import filter accepted")
+	}
+}

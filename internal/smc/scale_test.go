@@ -1,0 +1,113 @@
+package smc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/sensor"
+	"github.com/amuse/smc/internal/smc"
+)
+
+// TestCellAtBodyAreaScale runs a cell at the top of the paper's
+// intended scale — a couple of dozen devices on one patient/home —
+// with every sensor streaming, and verifies nothing is lost and the
+// policy service keeps up.
+func TestCellAtBodyAreaScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short")
+	}
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(401))
+	defer net.Close()
+	cfg := defaultCellConfig()
+	cfg.Lease = 2 * time.Second
+	cfg.Grace = 5 * time.Second
+	cfg.PolicyText = `
+obligation count-readings {
+  on type = "reading"
+  do log("reading")
+}
+`
+	cell := newTestCell(t, net, cfg)
+
+	const sensors = 20
+	const perSensor = 5
+
+	// A monitor subscribed to all readings.
+	mon, err := smc.JoinCell(attach(t, net, 0xF001), smc.DeviceConfig{
+		Type: "generic", Name: "monitor", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if err := mon.Client.Subscribe(event.NewFilter().WhereType(sensor.TypeReading)); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := []struct {
+		kind sensor.Kind
+		dt   string
+	}{
+		{sensor.KindHeartRate, sensor.DeviceTypeHeartRate},
+		{sensor.KindSpO2, sensor.DeviceTypeSpO2},
+		{sensor.KindTemperature, sensor.DeviceTypeTemperature},
+		{sensor.KindBPSystolic, sensor.DeviceTypeBP},
+		{sensor.KindGlucose, sensor.DeviceTypeGlucose},
+	}
+	var sims []*sensor.Sim
+	for i := 0; i < sensors; i++ {
+		k := kinds[i%len(kinds)]
+		dev, err := smc.JoinCell(attach(t, net, uint64(0xF100+i)), smc.DeviceConfig{
+			Type: k.dt, Name: fmt.Sprintf("s-%d", i), Secret: testSecret,
+		})
+		if err != nil {
+			t.Fatalf("join sensor %d: %v", i, err)
+		}
+		defer dev.Close()
+		sims = append(sims, sensor.NewSim(k.kind, sensor.WaveformFor(k.kind, int64(i)),
+			time.Second, dev.Client))
+	}
+	if got := len(cell.Discovery.Members()); got != sensors+1 {
+		t.Fatalf("members = %d", got)
+	}
+
+	// Step-drive every sensor deterministically.
+	for round := 0; round < perSensor; round++ {
+		for _, s := range sims {
+			if err := s.EmitOnce(); err != nil {
+				t.Fatalf("emit: %v", err)
+			}
+		}
+	}
+
+	// The monitor receives every translated reading.
+	want := sensors * perSensor
+	for i := 0; i < want; i++ {
+		if _, err := mon.Client.NextEvent(30 * time.Second); err != nil {
+			t.Fatalf("after %d/%d readings: %v", i, want, err)
+		}
+	}
+	// The obligation fired once per reading (it may still be catching
+	// up on the last few).
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cell.Policy.Stats().Fires >= uint64(want) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if fires := cell.Policy.Stats().Fires; fires < uint64(want) {
+		t.Errorf("policy fires = %d, want ≥ %d", fires, want)
+	}
+	// No proxy dropped anything.
+	px := cell.Bus.MemberProxy(mon.Client.ID())
+	if px == nil {
+		t.Fatal("monitor proxy missing")
+	}
+	if st := px.Stats(); st.DroppedOldest != 0 || st.DiscardedOnPurge != 0 {
+		t.Errorf("monitor proxy dropped events: %+v", st)
+	}
+}

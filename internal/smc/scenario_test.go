@@ -1,0 +1,183 @@
+package smc_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/sensor"
+	"github.com/amuse/smc/internal/smc"
+)
+
+// TestPolicyEscalationScenario drives a multi-policy autonomic chain:
+// a reading crosses a threshold → an alarm is raised → the alarm
+// triggers an actuator AND disables the noisy low-priority policy —
+// runtime behaviour change without reprogramming (§II-A).
+func TestPolicyEscalationScenario(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(301))
+	defer net.Close()
+	cfg := defaultCellConfig()
+	cfg.PolicyText = `
+# Low-priority: beep the bedside unit on every reading (noisy).
+obligation bedside-beep {
+  on type = "reading"
+  do publish(type = "actuate", target = "bedside-1", action = "beep", arg = 1)
+}
+
+# Threshold watch: raise an alarm on dangerous heart rate.
+obligation hr-threshold for "hr-sensor" {
+  on type = "reading" && kind = "heart-rate"
+  when value > 180
+  do publish(type = "alarm", source = "hr", severity = 3)
+}
+
+# Escalation: on a severe alarm, command the defibrillator and
+# silence the bedside beeper so it cannot distract staff.
+obligation escalate {
+  on type = "alarm" && severity >= 3
+  do publish(type = "actuate", target = "defib-1", action = "analyse"),
+     disable("bedside-beep"),
+     log("escalated")
+}
+`
+	cell := newTestCell(t, net, cfg)
+
+	// Actuators.
+	joinActuator := func(id uint64, name string) *sensor.ActuatorSim {
+		dev, err := smc.JoinCell(attach(t, net, id), smc.DeviceConfig{
+			Type: sensor.DeviceTypeDefib, Name: name, Secret: testSecret,
+		})
+		if err != nil {
+			t.Fatalf("join %s: %v", name, err)
+		}
+		t.Cleanup(func() { dev.Close() })
+		act := sensor.NewActuatorSim(name)
+		act.Start(dev.Client.Data())
+		t.Cleanup(act.Stop)
+		return act
+	}
+	bedside := joinActuator(0x61, "bedside-1")
+	defib := joinActuator(0x62, "defib-1")
+
+	// The heart-rate sensor.
+	hr, err := smc.JoinCell(attach(t, net, 0x63), smc.DeviceConfig{
+		Type: sensor.DeviceTypeHeartRate, Name: "hr-1", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Close()
+
+	emit := func(seq uint16, value float64) {
+		r := sensor.Reading{Kind: sensor.KindHeartRate, Seq: seq, Millis: int64(seq), Value: value}
+		if err := hr.Client.PublishRaw(sensor.EncodeReading(r)); err != nil {
+			t.Fatalf("emit %d: %v", seq, err)
+		}
+	}
+
+	// Normal reading: the bedside beeps, nothing else.
+	emit(1, 72)
+	waitCond(t, 5*time.Second, func() bool { return len(bedside.Actions()) == 1 })
+	if len(defib.Actions()) != 0 {
+		t.Fatal("defib commanded by a normal reading")
+	}
+
+	// Tachycardia: alarm → defib analyse + beeper disabled.
+	emit(2, 200)
+	waitCond(t, 5*time.Second, func() bool { return len(defib.Actions()) == 1 })
+	waitCond(t, 5*time.Second, func() bool {
+		for _, pi := range cell.Policy.Obligations() {
+			if pi.Name == "bedside-beep" && !pi.Enabled {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Further readings no longer beep (policy disabled at runtime).
+	beepsBefore := len(bedside.Actions())
+	emit(3, 75)
+	emit(4, 76)
+	time.Sleep(400 * time.Millisecond)
+	// The tachycardia reading itself raced the disable (both are
+	// triggered by the same event wave), so allow at most the beeps
+	// already counted plus that one in-flight beep.
+	if got := len(bedside.Actions()); got > beepsBefore+1 {
+		t.Errorf("beeper still active after disable: %d beeps (had %d)", got, beepsBefore)
+	}
+	if st := cell.Policy.Stats(); st.Fires < 3 {
+		t.Errorf("policy fires = %d", st.Fires)
+	}
+}
+
+func waitCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+// TestManyCellsShareOneRadioSpace runs three independent cells in one
+// simulated radio space: beacons interleave, devices join the cell
+// they name, and traffic never crosses cells without federation.
+func TestManyCellsShareOneRadioSpace(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(302))
+	defer net.Close()
+
+	cells := make([]*smc.Cell, 3)
+	names := []string{"cell-a", "cell-b", "cell-c"}
+	for i, name := range names {
+		cells[i] = newNamedCell(t, net, name, uint64(0x10000*(i+1)))
+	}
+
+	// One subscriber per cell, each listening to "note".
+	subs := make([]*smc.Device, 3)
+	for i, name := range names {
+		dev, err := smc.JoinCell(attach(t, net, uint64(0x71+i)), smc.DeviceConfig{
+			Type: "generic", Name: "sub-" + name, Secret: testSecret, Cell: name,
+		})
+		if err != nil {
+			t.Fatalf("join %s: %v", name, err)
+		}
+		defer dev.Close()
+		if err := dev.Client.Subscribe(event.NewFilter().WhereType("note")); err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = dev
+	}
+
+	// Publish one note inside cell-b only.
+	pub, err := smc.JoinCell(attach(t, net, 0x81), smc.DeviceConfig{
+		Type: "generic", Name: "pub", Secret: testSecret, Cell: "cell-b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Client.Publish(event.NewTyped("note").SetStr("in", "cell-b")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only cell-b's subscriber hears it.
+	if _, err := subs[1].Client.NextEvent(5 * time.Second); err != nil {
+		t.Fatalf("cell-b subscriber missed its note: %v", err)
+	}
+	var wg sync.WaitGroup
+	for _, i := range []int{0, 2} {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if e, err := subs[i].Client.NextEvent(300 * time.Millisecond); err == nil {
+				t.Errorf("cell %s received foreign event %s", names[i], e)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,245 @@
+// Package smc composes the three core SMC components — event bus,
+// discovery service, policy service (§II) — into a runnable
+// Self-Managed Cell, and provides the device-side counterpart that
+// joins a cell and speaks to its bus.
+package smc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/amuse/smc/internal/bootstrap"
+	"github.com/amuse/smc/internal/bus"
+	"github.com/amuse/smc/internal/client"
+	"github.com/amuse/smc/internal/discovery"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/matcher"
+	"github.com/amuse/smc/internal/policy"
+	"github.com/amuse/smc/internal/proxy"
+	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/sensor"
+	"github.com/amuse/smc/internal/transport"
+)
+
+// Config configures a cell.
+type Config struct {
+	// Cell is the cell's name.
+	Cell string
+	// Secret is the shared admission secret.
+	Secret []byte
+	// Matcher selects the pub/sub engine (default: fast).
+	Matcher matcher.Kind
+	// Lease/Grace/BeaconInterval tune the discovery service.
+	Lease          time.Duration
+	Grace          time.Duration
+	BeaconInterval time.Duration
+	// PolicyText is Ponder-lite source loaded at start (optional).
+	PolicyText string
+	// Reliable tunes the acknowledged hop.
+	Reliable reliable.Config
+	// BusOptions are applied to the event bus.
+	BusOptions []bus.Option
+	// PolicyOptions are applied to the policy engine.
+	PolicyOptions []policy.Option
+	// Epoch distinguishes cell restarts in beacons.
+	Epoch uint32
+}
+
+// Cell is a running Self-Managed Cell.
+type Cell struct {
+	Bus       *bus.Bus
+	Discovery *discovery.Service
+	Policy    *policy.Engine
+	Registry  *bootstrap.Registry
+
+	started bool
+}
+
+// NewCell wires a cell over two transport endpoints: one for the event
+// bus, one for the discovery service (the discovery protocol does not
+// share the bus's endpoint, §II-B). Call Start to go live.
+func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
+	if cfg.Cell == "" {
+		return nil, errors.New("smc: empty cell name")
+	}
+	if cfg.Matcher == "" {
+		cfg.Matcher = matcher.KindFast
+	}
+	m, err := matcher.New(cfg.Matcher)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := bootstrap.NewRegistry()
+	RegisterStandardDevices(reg)
+
+	busCh := reliable.New(busTr, cfg.Reliable)
+	b := bus.New(busCh, m, reg, cfg.BusOptions...)
+
+	eng, err := policy.NewEngine(b, cfg.PolicyOptions...)
+	if err != nil {
+		closeErr := busCh.Close()
+		_ = closeErr
+		return nil, err
+	}
+	b.SetAuthorizer(eng)
+	if cfg.PolicyText != "" {
+		if err := eng.LoadString(cfg.PolicyText); err != nil {
+			_ = busCh.Close()
+			return nil, fmt.Errorf("smc: load policies: %w", err)
+		}
+	}
+
+	discCh := reliable.New(discTr, cfg.Reliable)
+	disc, err := discovery.NewService(discCh, b.Local("discovery"), discovery.ServiceConfig{
+		Cell:           cfg.Cell,
+		Secret:         cfg.Secret,
+		BusID:          b.ID(),
+		Epoch:          cfg.Epoch,
+		BeaconInterval: cfg.BeaconInterval,
+		Lease:          cfg.Lease,
+		Grace:          cfg.Grace,
+		Register: func(id ident.ID, deviceType, name string) error {
+			return b.AddMember(id, deviceType, name)
+		},
+		Unregister: func(id ident.ID) {
+			b.RemoveMember(id)
+		},
+	})
+	if err != nil {
+		_ = busCh.Close()
+		_ = discCh.Close()
+		return nil, err
+	}
+
+	return &Cell{Bus: b, Discovery: disc, Policy: eng, Registry: reg}, nil
+}
+
+// Start brings the cell online: the bus starts processing and the
+// discovery service starts beaconing.
+func (c *Cell) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.Bus.Start()
+	c.Discovery.Start()
+}
+
+// Close shuts the cell down.
+func (c *Cell) Close() error {
+	discErr := c.Discovery.Close()
+	busErr := c.Bus.Close()
+	if discErr != nil {
+		return discErr
+	}
+	return busErr
+}
+
+// DeviceConfig configures a device-side join.
+type DeviceConfig struct {
+	// Type is the device type ("hr-sensor", "defibrillator", ...);
+	// it selects the proxy built for the device inside the cell.
+	Type string
+	// Name is the human-readable device name.
+	Name string
+	// Secret is the shared admission secret.
+	Secret []byte
+	// Cell optionally pins a cell name.
+	Cell string
+	// Discovery, with Cell set, joins a known discovery service
+	// directly instead of waiting for a beacon (unicast-only links).
+	Discovery ident.ID
+	// JoinTimeout bounds the join (default 5 s).
+	JoinTimeout time.Duration
+	// Reliable tunes the acknowledged hop.
+	Reliable reliable.Config
+}
+
+// Device is a joined member: a client connection plus the lease
+// heartbeats keeping its membership alive.
+type Device struct {
+	Client *client.Client
+	Join   *discovery.JoinResult
+
+	ch *reliable.Channel
+	hb *discovery.Heartbeater
+}
+
+// JoinCell performs the full device-side flow on one transport
+// endpoint: discover a cell via beacons, authenticate, join, start
+// heartbeats, and return a ready client bound to the cell's bus.
+func JoinCell(tr transport.Transport, cfg DeviceConfig) (*Device, error) {
+	ch := reliable.New(tr, cfg.Reliable)
+	res, err := discovery.Join(ch, discovery.JoinConfig{
+		DeviceType: cfg.Type,
+		DeviceName: cfg.Name,
+		Secret:     cfg.Secret,
+		Cell:       cfg.Cell,
+		Discovery:  cfg.Discovery,
+		Timeout:    cfg.JoinTimeout,
+	})
+	if err != nil {
+		_ = ch.Close()
+		return nil, err
+	}
+	hb := discovery.StartHeartbeats(ch, res.Discovery, res.Lease/3)
+	return &Device{
+		Client: client.New(ch, res.Bus),
+		Join:   res,
+		ch:     ch,
+		hb:     hb,
+	}, nil
+}
+
+// Leave announces departure to the cell (immediate purge) and shuts
+// the device down.
+func (d *Device) Leave() error {
+	d.hb.Stop()
+	leaveErr := discovery.Leave(d.ch, d.Join.Discovery)
+	closeErr := d.Client.Close()
+	if leaveErr != nil {
+		return leaveErr
+	}
+	return closeErr
+}
+
+// Close shuts the device down without announcing departure (the
+// "battery died / walked away" path: the cell purges after lease and
+// grace lapse).
+func (d *Device) Close() error {
+	d.hb.Stop()
+	return d.Client.Close()
+}
+
+// RegisterStandardDevices installs proxy factories for the synthetic
+// medical device types: sensors get the translating sensor proxy,
+// actuators get the command-translating actuator proxy subscribed on
+// the device's behalf.
+func RegisterStandardDevices(reg *bootstrap.Registry) {
+	sensorTypes := []string{
+		sensor.DeviceTypeHeartRate,
+		sensor.DeviceTypeSpO2,
+		sensor.DeviceTypeTemperature,
+		sensor.DeviceTypeBP,
+		sensor.DeviceTypeGlucose,
+	}
+	for _, dt := range sensorTypes {
+		deviceType := dt
+		_ = reg.Register(deviceType, func(_ ident.ID, _ string) proxy.Device {
+			return sensor.NewSensorProxyDevice(deviceType)
+		})
+	}
+	actuatorTypes := []string{
+		sensor.DeviceTypeDefib,
+		sensor.DeviceTypePump,
+		sensor.DeviceTypeBedside,
+	}
+	for _, dt := range actuatorTypes {
+		deviceType := dt
+		_ = reg.Register(deviceType, func(_ ident.ID, name string) proxy.Device {
+			return sensor.NewActuatorProxyDevice(deviceType, name)
+		})
+	}
+}

@@ -1,0 +1,405 @@
+package smc_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/sensor"
+	"github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/transport"
+)
+
+var testSecret = []byte("ward-secret")
+
+// newTestCell builds a cell on a fresh simulated network.
+func newTestCell(t *testing.T, net *netsim.Network, cfg smc.Config) *smc.Cell {
+	t.Helper()
+	busTr, err := net.Attach(ident.New(0x10001))
+	if err != nil {
+		t.Fatalf("attach bus: %v", err)
+	}
+	discTr, err := net.Attach(ident.New(0x10002))
+	if err != nil {
+		t.Fatalf("attach discovery: %v", err)
+	}
+	cell, err := smc.NewCell(busTr, discTr, cfg)
+	if err != nil {
+		t.Fatalf("new cell: %v", err)
+	}
+	cell.Start()
+	t.Cleanup(func() {
+		if err := cell.Close(); err != nil {
+			t.Errorf("close cell: %v", err)
+		}
+	})
+	return cell
+}
+
+func attach(t *testing.T, net *netsim.Network, id uint64) transport.Transport {
+	t.Helper()
+	tr, err := net.Attach(ident.New(id))
+	if err != nil {
+		t.Fatalf("attach %x: %v", id, err)
+	}
+	return tr
+}
+
+func defaultCellConfig() smc.Config {
+	return smc.Config{
+		Cell:           "test-cell",
+		Secret:         testSecret,
+		Lease:          500 * time.Millisecond,
+		Grace:          500 * time.Millisecond,
+		BeaconInterval: 50 * time.Millisecond,
+	}
+}
+
+func TestEndToEndPublishSubscribe(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(7))
+	defer net.Close()
+	newTestCell(t, net, defaultCellConfig())
+
+	pub, err := smc.JoinCell(attach(t, net, 0x20001), smc.DeviceConfig{
+		Type: "generic", Name: "publisher", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join publisher: %v", err)
+	}
+	defer pub.Close()
+
+	sub, err := smc.JoinCell(attach(t, net, 0x20002), smc.DeviceConfig{
+		Type: "generic", Name: "subscriber", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join subscriber: %v", err)
+	}
+	defer sub.Close()
+
+	filter := event.NewFilter().WhereType("alarm")
+	if err := sub.Client.Subscribe(filter); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+
+	e := event.NewTyped("alarm").SetStr("source", "hr").SetFloat("value", 190)
+	if err := pub.Client.Publish(e); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	got, err := sub.Client.NextEvent(3 * time.Second)
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if got.Type() != "alarm" {
+		t.Errorf("type = %q, want alarm", got.Type())
+	}
+	if v, ok := got.Get("value"); !ok {
+		t.Error("missing value attribute")
+	} else if f, _ := v.Float(); f != 190 {
+		t.Errorf("value = %v, want 190", f)
+	}
+	if got.Sender != pub.Client.ID() {
+		t.Errorf("sender = %s, want %s", got.Sender, pub.Client.ID())
+	}
+
+	// A non-matching publish must not be delivered.
+	if err := pub.Client.Publish(event.NewTyped("reading")); err != nil {
+		t.Fatalf("publish non-matching: %v", err)
+	}
+	if _, err := sub.Client.NextEvent(150 * time.Millisecond); err == nil {
+		t.Error("received event that should not match")
+	}
+}
+
+func TestJoinRejectedWithWrongSecret(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(8))
+	defer net.Close()
+	newTestCell(t, net, defaultCellConfig())
+
+	_, err := smc.JoinCell(attach(t, net, 0x20003), smc.DeviceConfig{
+		Type: "generic", Name: "intruder", Secret: []byte("wrong"),
+		JoinTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("join with wrong secret succeeded")
+	}
+}
+
+func TestSensorTranslationThroughProxy(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(9))
+	defer net.Close()
+	cell := newTestCell(t, net, defaultCellConfig())
+
+	// A monitor subscribed to translated readings.
+	monitor, err := smc.JoinCell(attach(t, net, 0x20010), smc.DeviceConfig{
+		Type: "generic", Name: "monitor", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join monitor: %v", err)
+	}
+	defer monitor.Close()
+	if err := monitor.Client.Subscribe(event.NewFilter().WhereType(sensor.TypeReading)); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+
+	// A heart-rate sensor publishing native bytes.
+	hr, err := smc.JoinCell(attach(t, net, 0x20011), smc.DeviceConfig{
+		Type: sensor.DeviceTypeHeartRate, Name: "hr-1", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join sensor: %v", err)
+	}
+	defer hr.Close()
+
+	reading := sensor.Reading{Kind: sensor.KindHeartRate, Seq: 42, Millis: 1718000000000, Value: 71.5}
+	if err := hr.Client.PublishRaw(sensor.EncodeReading(reading)); err != nil {
+		t.Fatalf("publish raw: %v", err)
+	}
+
+	got, err := monitor.Client.NextEvent(3 * time.Second)
+	if err != nil {
+		t.Fatalf("receive translated event: %v", err)
+	}
+	if got.Type() != sensor.TypeReading {
+		t.Fatalf("type = %q, want %q", got.Type(), sensor.TypeReading)
+	}
+	if v, _ := got.Get(sensor.AttrValue); !v.Equal(event.Float(71.5)) {
+		t.Errorf("value = %s, want 71.5", v)
+	}
+	if v, _ := got.Get(sensor.AttrKind); !v.Equal(event.Str("heart-rate")) {
+		t.Errorf("kind = %s, want heart-rate", v)
+	}
+	if got.Sender != hr.Client.ID() {
+		t.Errorf("sender = %s, want sensor %s", got.Sender, hr.Client.ID())
+	}
+	_ = cell
+}
+
+func TestPolicyAlarmToActuator(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(10))
+	defer net.Close()
+	cfg := defaultCellConfig()
+	cfg.PolicyText = `
+obligation hr-high for "hr-sensor" {
+  on type = "reading" && kind = "heart-rate"
+  when value > 180
+  do publish(type = "actuate", target = "defib-1", action = "analyse"),
+     log("tachycardia detected")
+}
+`
+	newTestCell(t, net, cfg)
+
+	defib, err := smc.JoinCell(attach(t, net, 0x20021), smc.DeviceConfig{
+		Type: sensor.DeviceTypeDefib, Name: "defib-1", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join defib: %v", err)
+	}
+	defer defib.Close()
+	act := sensor.NewActuatorSim("defib-1")
+	act.Start(defib.Client.Data())
+	defer act.Stop()
+
+	hr, err := smc.JoinCell(attach(t, net, 0x20022), smc.DeviceConfig{
+		Type: sensor.DeviceTypeHeartRate, Name: "hr-1", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join sensor: %v", err)
+	}
+	defer hr.Close()
+
+	// Normal reading: no actuation.
+	normal := sensor.Reading{Kind: sensor.KindHeartRate, Seq: 1, Millis: 1, Value: 70}
+	if err := hr.Client.PublishRaw(sensor.EncodeReading(normal)); err != nil {
+		t.Fatalf("publish normal: %v", err)
+	}
+	// Tachycardia: policy fires, actuator commanded.
+	tachy := sensor.Reading{Kind: sensor.KindHeartRate, Seq: 2, Millis: 2, Value: 195}
+	if err := hr.Client.PublishRaw(sensor.EncodeReading(tachy)); err != nil {
+		t.Fatalf("publish tachy: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(act.Actions()) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	actions := act.Actions()
+	if len(actions) != 1 {
+		t.Fatalf("actuator actions = %d, want 1 (%v)", len(actions), actions)
+	}
+	if actions[0].Opcode != sensor.OpAnalyse {
+		t.Errorf("opcode = %d, want analyse", actions[0].Opcode)
+	}
+}
+
+func TestPurgeAfterSilence(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(11))
+	defer net.Close()
+	cfg := defaultCellConfig()
+	cfg.Lease = 300 * time.Millisecond
+	cfg.Grace = 300 * time.Millisecond
+	cell := newTestCell(t, net, cfg)
+
+	dev, err := smc.JoinCell(attach(t, net, 0x20031), smc.DeviceConfig{
+		Type: "generic", Name: "wanderer", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	id := dev.Client.ID()
+
+	// Watch for the purge event via a local service.
+	purged := make(chan struct{}, 1)
+	watcher := cell.Bus.Local("watcher")
+	err = watcher.Subscribe(event.NewFilter().WhereType(event.TypePurgeMember), func(e *event.Event) {
+		if v, ok := e.Get(event.AttrMember); ok {
+			if i, _ := v.Int(); ident.New(uint64(i)) == id {
+				select {
+				case purged <- struct{}{}:
+				default:
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	// Device silently disappears (no Leave): heartbeats stop.
+	if err := dev.Close(); err != nil {
+		t.Fatalf("close device: %v", err)
+	}
+
+	select {
+	case <-purged:
+	case <-time.After(5 * time.Second):
+		t.Fatal("member was not purged after lease+grace silence")
+	}
+	if _, ok := cell.Discovery.Member(id); ok {
+		t.Error("member still in discovery table after purge")
+	}
+}
+
+func TestTransientDisconnectionMasked(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(12))
+	defer net.Close()
+	cfg := defaultCellConfig()
+	cfg.Lease = 200 * time.Millisecond
+	cfg.Grace = 2 * time.Second
+	cell := newTestCell(t, net, cfg)
+
+	dev, err := smc.JoinCell(attach(t, net, 0x20041), smc.DeviceConfig{
+		Type: "generic", Name: "nurse-pda", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer dev.Close()
+	id := dev.Client.ID()
+
+	// Nurse leaves the room: isolate the endpoint briefly (shorter
+	// than lease+grace), then return.
+	net.Isolate(id)
+	time.Sleep(600 * time.Millisecond) // > lease, < lease+grace
+	if info, ok := cell.Discovery.Member(id); !ok {
+		t.Fatal("member purged during grace period")
+	} else if info.State == 0 {
+		t.Fatal("missing member state")
+	}
+	net.Restore(id)
+	time.Sleep(500 * time.Millisecond) // heartbeats resume
+
+	info, ok := cell.Discovery.Member(id)
+	if !ok {
+		t.Fatal("member purged despite returning within grace")
+	}
+	if info.State.String() != "active" {
+		t.Errorf("state = %s, want active after return", info.State)
+	}
+	st := cell.Discovery.Stats()
+	if st.GraceReturns == 0 {
+		t.Error("no grace return recorded")
+	}
+}
+
+func TestVoluntaryLeavePurgesImmediately(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(13))
+	defer net.Close()
+	cell := newTestCell(t, net, defaultCellConfig())
+
+	dev, err := smc.JoinCell(attach(t, net, 0x20051), smc.DeviceConfig{
+		Type: "generic", Name: "leaver", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	id := dev.Client.ID()
+	if err := dev.Leave(); err != nil && !errors.Is(err, nil) {
+		t.Fatalf("leave: %v", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := cell.Discovery.Member(id); !ok {
+			return // purged
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("member not purged after voluntary leave")
+}
+
+func TestAuthorizationDeniesPublish(t *testing.T) {
+	net := netsim.New(netsim.Perfect, netsim.WithSeed(14))
+	defer net.Close()
+	cfg := defaultCellConfig()
+	cfg.PolicyText = `
+authorization no-actuate-from-sensors {
+  effect deny
+  subject "hr-sensor"
+  action publish
+  target type = "actuate"
+}
+`
+	cell := newTestCell(t, net, cfg)
+
+	sub, err := smc.JoinCell(attach(t, net, 0x20061), smc.DeviceConfig{
+		Type: "generic", Name: "sub", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join sub: %v", err)
+	}
+	defer sub.Close()
+	if err := sub.Client.Subscribe(event.NewFilter().WhereType("actuate")); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+
+	hr, err := smc.JoinCell(attach(t, net, 0x20062), smc.DeviceConfig{
+		Type: sensor.DeviceTypeHeartRate, Name: "hr-1", Secret: testSecret,
+	})
+	if err != nil {
+		t.Fatalf("join hr: %v", err)
+	}
+	defer hr.Close()
+
+	// The sensor tries to command an actuator directly: denied.
+	if err := hr.Client.Publish(event.NewTyped("actuate").SetStr("target", "defib-1")); err != nil {
+		t.Fatalf("publish returned transport error: %v", err)
+	}
+	if _, err := sub.Client.NextEvent(300 * time.Millisecond); err == nil {
+		t.Fatal("denied publish was delivered")
+	}
+	if cell.Bus.Stats().AuthDenied == 0 {
+		t.Error("no auth denial recorded")
+	}
+
+	// But its readings still flow.
+	if err := hr.Client.Publish(event.NewTyped("reading").SetFloat("value", 70)); err != nil {
+		t.Fatalf("publish reading: %v", err)
+	}
+}

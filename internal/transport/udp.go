@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+)
+
+// UDPTransport is the prototype transport of §IV: datagram sockets,
+// with the service ID derived from the unicast socket's address and
+// port. The OS chooses the port (the prototype "is not hardwired to use
+// a specific port for unicast traffic"); broadcast traffic goes to an
+// arbitrarily chosen port number known by all services.
+type UDPTransport struct {
+	id   ident.ID
+	conn *net.UDPConn
+
+	// bcast lists destinations used for the broadcast ID. On a real
+	// wireless segment this would be the subnet broadcast address;
+	// for loopback testing it is the set of peer broadcast listeners.
+	mu     sync.RWMutex
+	bcast  []*net.UDPAddr
+	closed bool
+
+	queue chan Datagram
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// MaxUDPDatagram is the largest datagram the transport will send.
+const MaxUDPDatagram = 60 * 1024
+
+// UDPOption configures a UDPTransport.
+type UDPOption func(*udpConfig)
+
+type udpConfig struct {
+	listenIP   net.IP
+	port       int
+	queueDepth int
+}
+
+// WithListenIP sets the local IP to bind (default 127.0.0.1).
+func WithListenIP(ip net.IP) UDPOption {
+	return func(c *udpConfig) { c.listenIP = ip }
+}
+
+// WithPort pins the local port (default 0: OS chooses, as in the
+// prototype's unicast socket).
+func WithPort(port int) UDPOption {
+	return func(c *udpConfig) { c.port = port }
+}
+
+// WithQueueDepth sets the receive queue depth.
+func WithQueueDepth(n int) UDPOption {
+	return func(c *udpConfig) { c.queueDepth = n }
+}
+
+// NewUDPTransport opens a datagram socket and derives the service ID
+// from its bound address and port.
+func NewUDPTransport(opts ...UDPOption) (*UDPTransport, error) {
+	cfg := udpConfig{listenIP: net.IPv4(127, 0, 0, 1), queueDepth: defaultQueueDepth}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: cfg.listenIP, Port: cfg.port})
+	if err != nil {
+		return nil, fmt.Errorf("udp listen: %w", err)
+	}
+	addr, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		conn.Close()
+		return nil, errors.New("udp transport: unexpected local address type")
+	}
+	id, err := ident.FromUDPAddr(addr)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t := &UDPTransport{
+		id:    id,
+		conn:  conn,
+		queue: make(chan Datagram, cfg.queueDepth),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// AddBroadcastPeer registers an address reached by broadcast sends.
+func (t *UDPTransport) AddBroadcastPeer(addr *net.UDPAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bcast = append(t.bcast, addr)
+}
+
+// LocalAddr exposes the bound UDP address.
+func (t *UDPTransport) LocalAddr() *net.UDPAddr {
+	addr, _ := t.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, MaxUDPDatagram+1)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+			default:
+				// Socket error outside shutdown: stop receiving;
+				// Recv callers see closure when Close runs.
+			}
+			return
+		}
+		id, err := ident.FromUDPAddr(from)
+		if err != nil {
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.queue <- Datagram{From: id, Data: data}:
+		case <-t.done:
+			return
+		default:
+			// Receive overflow: drop, as real UDP does.
+		}
+	}
+}
+
+// LocalID implements Transport.
+func (t *UDPTransport) LocalID() ident.ID { return t.id }
+
+// Send implements Transport. Unicast destinations are addressed by
+// decoding the 48-bit ID back to IP:port — the inverse of the ID
+// derivation, exactly how the prototype routes packets.
+func (t *UDPTransport) Send(dst ident.ID, data []byte) error {
+	if len(data) > MaxUDPDatagram {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), MaxUDPDatagram)
+	}
+	t.mu.RLock()
+	closed := t.closed
+	bcast := t.bcast
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if dst.IsBroadcast() {
+		var firstErr error
+		for _, addr := range bcast {
+			if _, err := t.conn.WriteToUDP(data, addr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	ip, port := dst.Addr()
+	_, err := t.conn.WriteToUDP(data, &net.UDPAddr{IP: ip, Port: port})
+	if err != nil {
+		return fmt.Errorf("udp send to %s: %w", dst, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *UDPTransport) Recv() (Datagram, error) {
+	select {
+	case d := <-t.queue:
+		return d, nil
+	case <-t.done:
+		select {
+		case d := <-t.queue:
+			return d, nil
+		default:
+			return Datagram{}, ErrClosed
+		}
+	}
+}
+
+// RecvTimeout implements Transport.
+func (t *UDPTransport) RecvTimeout(d time.Duration) (Datagram, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case dg := <-t.queue:
+		return dg, nil
+	case <-timer.C:
+		return Datagram{}, ErrTimeout
+	case <-t.done:
+		select {
+		case dg := <-t.queue:
+			return dg, nil
+		default:
+			return Datagram{}, ErrClosed
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.done)
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+)
+
+func newUDP(t *testing.T) *UDPTransport {
+	t.Helper()
+	tr, err := NewUDPTransport()
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := tr.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return tr
+}
+
+func TestUDPIDDerivedFromSocket(t *testing.T) {
+	tr := newUDP(t)
+	addr := tr.LocalAddr()
+	want, err := ident.FromUDPAddr(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LocalID() != want {
+		t.Errorf("ID = %s, want %s (from %v)", tr.LocalID(), want, addr)
+	}
+	ip, port := tr.LocalID().Addr()
+	if port != addr.Port || !ip.Equal(addr.IP.To4().To16()) && !ip.To4().Equal(addr.IP.To4()) {
+		t.Errorf("Addr() = %v:%d, socket %v", ip, port, addr)
+	}
+}
+
+func TestUDPUnicastRoundTrip(t *testing.T) {
+	a := newUDP(t)
+	b := newUDP(t)
+	if err := a.Send(b.LocalID(), []byte("over udp")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	dg, err := b.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if dg.From != a.LocalID() || string(dg.Data) != "over udp" {
+		t.Errorf("got %s %q", dg.From, dg.Data)
+	}
+	// And the reverse direction.
+	if err := b.Send(a.LocalID(), []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	dg, err = a.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatalf("recv reply: %v", err)
+	}
+	if string(dg.Data) != "reply" {
+		t.Errorf("reply = %q", dg.Data)
+	}
+}
+
+func TestUDPBroadcastPeers(t *testing.T) {
+	a := newUDP(t)
+	b := newUDP(t)
+	c := newUDP(t)
+	a.AddBroadcastPeer(b.LocalAddr())
+	a.AddBroadcastPeer(c.LocalAddr())
+	if err := a.Send(ident.Broadcast, []byte("beacon")); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	for _, ep := range []*UDPTransport{b, c} {
+		dg, err := ep.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if string(dg.Data) != "beacon" {
+			t.Errorf("payload = %q", dg.Data)
+		}
+	}
+}
+
+func TestUDPOversizedDatagramRejected(t *testing.T) {
+	a := newUDP(t)
+	err := a.Send(ident.New(1), make([]byte, MaxUDPDatagram+1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUDPCloseUnblocksRecv(t *testing.T) {
+	a, err := NewUDPTransport()
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("recv err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	// Send after close fails; double close is fine.
+	if err := a.Send(ident.New(1), []byte("x")); err == nil {
+		t.Error("send after close succeeded")
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestUDPPinnedPort(t *testing.T) {
+	tr, err := NewUDPTransport(WithPort(0)) // OS-chosen, as the prototype
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer tr.Close()
+	if tr.LocalAddr().Port == 0 {
+		t.Error("no port bound")
+	}
+}

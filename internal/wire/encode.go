@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// Encoding of events, filters and values inside packet payloads.
+//
+// All multi-byte integers are big endian. Strings and byte slices are
+// length-prefixed with a uvarint. Attribute/constraint counts use a
+// single uint16.
+
+var (
+	// ErrTruncated reports a payload ending mid-structure.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrBadEncoding reports a structurally invalid payload.
+	ErrBadEncoding = errors.New("wire: bad encoding")
+)
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	if r.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *reader) string() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendValue encodes a value: 1 type byte then the payload.
+func AppendValue(dst []byte, v event.Value) []byte {
+	dst = append(dst, byte(v.Type()))
+	switch v.Type() {
+	case event.TypeInt:
+		i, _ := v.Int()
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], uint64(i))
+		dst = append(dst, tmp[:]...)
+	case event.TypeFloat:
+		f, _ := v.Float()
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(f))
+		dst = append(dst, tmp[:]...)
+	case event.TypeString:
+		s, _ := v.Str()
+		dst = appendString(dst, s)
+	case event.TypeBool:
+		b, _ := v.Bool()
+		if b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case event.TypeBytes:
+		b, _ := v.Bytes()
+		dst = appendBytes(dst, b)
+	}
+	return dst
+}
+
+func readValue(r *reader) (event.Value, error) {
+	tb, err := r.byte()
+	if err != nil {
+		return event.Value{}, err
+	}
+	switch event.Type(tb) {
+	case event.TypeInt:
+		u, err := r.uint64()
+		if err != nil {
+			return event.Value{}, err
+		}
+		return event.Int(int64(u)), nil
+	case event.TypeFloat:
+		u, err := r.uint64()
+		if err != nil {
+			return event.Value{}, err
+		}
+		return event.Float(math.Float64frombits(u)), nil
+	case event.TypeString:
+		s, err := r.string()
+		if err != nil {
+			return event.Value{}, err
+		}
+		return event.Str(s), nil
+	case event.TypeBool:
+		b, err := r.byte()
+		if err != nil {
+			return event.Value{}, err
+		}
+		if b > 1 {
+			return event.Value{}, fmt.Errorf("%w: bool byte %d", ErrBadEncoding, b)
+		}
+		return event.Bool(b == 1), nil
+	case event.TypeBytes:
+		b, err := r.bytes()
+		if err != nil {
+			return event.Value{}, err
+		}
+		return event.Bytes(b), nil
+	default:
+		return event.Value{}, fmt.Errorf("%w: value type %d", ErrBadEncoding, tb)
+	}
+}
+
+// AppendEvent encodes an event payload: origin sender (8 bytes, 48-bit
+// ID), origin sequence number, stamp (unixnano), count, then name/value
+// pairs in sorted name order (deterministic encoding). The origin
+// fields travel with the event so that per-sender ordering and identity
+// survive relaying through the bus (§II-C defines ordering per original
+// sending component).
+func AppendEvent(dst []byte, e *event.Event) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(e.Sender))
+	dst = append(dst, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], e.Seq)
+	dst = append(dst, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(e.Stamp.UnixNano()))
+	dst = append(dst, tmp[:]...)
+	binary.BigEndian.PutUint16(tmp[:2], uint16(e.Len()))
+	dst = append(dst, tmp[:2]...)
+	e.Range(func(name string, v event.Value) bool {
+		dst = appendString(dst, name)
+		dst = AppendValue(dst, v)
+		return true
+	})
+	return dst
+}
+
+// EncodeEvent encodes an event into a fresh payload slice.
+func EncodeEvent(e *event.Event) []byte {
+	return AppendEvent(make([]byte, 0, 64+e.Len()*24), e)
+}
+
+// DecodeEvent decodes an event payload, including the origin sender
+// and sequence number.
+func DecodeEvent(buf []byte) (*event.Event, error) {
+	r := &reader{buf: buf}
+	sender, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	stampNano, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > event.MaxAttrs {
+		return nil, fmt.Errorf("%w: %d attributes", ErrBadEncoding, count)
+	}
+	e := event.New()
+	e.Sender = ident.New(sender)
+	e.Seq = seq
+	e.Stamp = time.Unix(0, int64(stampNano))
+	for i := 0; i < int(count); i++ {
+		name, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := readValue(r)
+		if err != nil {
+			return nil, err
+		}
+		e.Set(name, v)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, r.remaining())
+	}
+	return e, nil
+}
+
+// AppendFilter encodes a filter payload: count then constraints
+// (name, op byte, value; OpExists omits the value).
+func AppendFilter(dst []byte, f *event.Filter) []byte {
+	cs := f.Constraints()
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], uint16(len(cs)))
+	dst = append(dst, tmp[:]...)
+	for _, c := range cs {
+		dst = appendString(dst, c.Name)
+		dst = append(dst, byte(c.Op))
+		if c.Op != event.OpExists {
+			dst = AppendValue(dst, c.Value)
+		}
+	}
+	return dst
+}
+
+// EncodeFilter encodes a filter into a fresh payload slice.
+func EncodeFilter(f *event.Filter) []byte {
+	return AppendFilter(make([]byte, 0, 16+f.Len()*24), f)
+}
+
+// DecodeFilter decodes a filter payload.
+func DecodeFilter(buf []byte) (*event.Filter, error) {
+	r := &reader{buf: buf}
+	count, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > event.MaxAttrs {
+		return nil, fmt.Errorf("%w: %d constraints", ErrBadEncoding, count)
+	}
+	cs := make([]event.Constraint, 0, count)
+	for i := 0; i < int(count); i++ {
+		name, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		opb, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		op := event.Op(opb)
+		c := event.Constraint{Name: name, Op: op}
+		if op != event.OpExists {
+			v, err := readValue(r)
+			if err != nil {
+				return nil, err
+			}
+			c.Value = v
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		cs = append(cs, c)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, r.remaining())
+	}
+	return event.NewFilter(cs...), nil
+}

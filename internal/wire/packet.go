@@ -1,0 +1,251 @@
+// Package wire defines the binary packet format carried by the generic
+// transport layer.
+//
+// The paper's transport layer (§III-D) deliberately exchanges raw byte
+// arrays, avoiding Java serialisation so that devices written in other
+// languages can participate. This package is the single place where SMC
+// structures (events, filters, control messages) are converted to and
+// from those byte arrays.
+//
+// Packet layout (big endian):
+//
+//	offset  size  field
+//	0       2     magic "SM"
+//	2       1     version (currently 1)
+//	3       1     packet type
+//	4       1     flags
+//	5       1     reserved (0)
+//	6       6     sender ID (48 bits)
+//	12      8     sequence number
+//	20      4     payload length
+//	24      n     payload
+//	24+n    4     CRC-32 (IEEE) over bytes [0, 24+n)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/amuse/smc/internal/ident"
+)
+
+// PacketType discriminates the payload carried by a packet.
+type PacketType byte
+
+// Packet types used by the SMC core.
+const (
+	PktInvalid PacketType = iota
+	// PktEvent carries one encoded event.
+	PktEvent
+	// PktAck acknowledges receipt of the packet with the echoed
+	// sequence number from the echoed sender.
+	PktAck
+	// PktSubscribe carries an encoded filter to install.
+	PktSubscribe
+	// PktUnsubscribe carries an encoded filter to remove.
+	PktUnsubscribe
+	// PktBeacon is a discovery broadcast announcing a service.
+	PktBeacon
+	// PktJoinRequest asks for admission to the cell.
+	PktJoinRequest
+	// PktJoinAccept grants admission.
+	PktJoinReject
+	// PktJoinAccept grants admission.
+	PktJoinAccept
+	// PktLeave announces a voluntary departure.
+	PktLeave
+	// PktHeartbeat refreshes a membership lease.
+	PktHeartbeat
+	// PktQuench tells a publisher that no subscriber currently
+	// matches (power saving, §VI).
+	PktQuench
+	// PktUnquench tells a publisher that matching subscribers exist
+	// again.
+	PktUnquench
+	// PktData carries raw device bytes (sensor native encoding) for a
+	// proxy to translate (§III-B).
+	PktData
+)
+
+// String names the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case PktEvent:
+		return "event"
+	case PktAck:
+		return "ack"
+	case PktSubscribe:
+		return "subscribe"
+	case PktUnsubscribe:
+		return "unsubscribe"
+	case PktBeacon:
+		return "beacon"
+	case PktJoinRequest:
+		return "join-request"
+	case PktJoinReject:
+		return "join-reject"
+	case PktJoinAccept:
+		return "join-accept"
+	case PktLeave:
+		return "leave"
+	case PktHeartbeat:
+		return "heartbeat"
+	case PktQuench:
+		return "quench"
+	case PktUnquench:
+		return "unquench"
+	case PktData:
+		return "data"
+	default:
+		return "invalid"
+	}
+}
+
+// Flag bits.
+const (
+	// FlagNoAck marks packets the receiver must not acknowledge
+	// (e.g. periodic sensor data whose proxy absorbs acks, §III-B).
+	FlagNoAck byte = 1 << iota
+	// FlagRetransmit marks a retransmitted packet.
+	FlagRetransmit
+)
+
+// Version is the current wire format version.
+const Version byte = 1
+
+// HeaderLen is the fixed header size in bytes.
+const HeaderLen = 24
+
+// TrailerLen is the CRC trailer size in bytes.
+const TrailerLen = 4
+
+// MaxPayload bounds a packet payload, keeping datagrams bounded for the
+// constrained target platform.
+const MaxPayload = 256 * 1024
+
+var (
+	// ErrShortPacket reports a truncated packet.
+	ErrShortPacket = errors.New("wire: short packet")
+	// ErrBadMagic reports a packet without the SM magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion reports an unsupported wire version.
+	ErrBadVersion = errors.New("wire: unsupported version")
+	// ErrBadChecksum reports a CRC mismatch (corrupted packet).
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+	// ErrPayloadTooLarge reports a payload above MaxPayload.
+	ErrPayloadTooLarge = errors.New("wire: payload too large")
+)
+
+var magic = [2]byte{'S', 'M'}
+
+// Packet is a decoded transport packet.
+type Packet struct {
+	Type    PacketType
+	Flags   byte
+	Sender  ident.ID
+	Seq     uint64
+	Payload []byte
+}
+
+// EncodedLen reports the encoded size of the packet.
+func (p *Packet) EncodedLen() int {
+	return HeaderLen + len(p.Payload) + TrailerLen
+}
+
+// Marshal encodes the packet, appending to dst (which may be nil) and
+// returning the extended slice.
+func (p *Packet) Marshal(dst []byte) ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(p.Payload))
+	}
+	start := len(dst)
+	need := p.EncodedLen()
+	dst = append(dst, make([]byte, need)...)
+	buf := dst[start:]
+	buf[0], buf[1] = magic[0], magic[1]
+	buf[2] = Version
+	buf[3] = byte(p.Type)
+	buf[4] = p.Flags
+	buf[5] = 0
+	putID48(buf[6:12], p.Sender)
+	binary.BigEndian.PutUint64(buf[12:20], p.Seq)
+	binary.BigEndian.PutUint32(buf[20:24], uint32(len(p.Payload)))
+	copy(buf[HeaderLen:], p.Payload)
+	sum := crc32.ChecksumIEEE(buf[:HeaderLen+len(p.Payload)])
+	binary.BigEndian.PutUint32(buf[HeaderLen+len(p.Payload):], sum)
+	return dst, nil
+}
+
+// MarshalBytes encodes the packet into a fresh slice.
+func (p *Packet) MarshalBytes() ([]byte, error) {
+	return p.Marshal(make([]byte, 0, p.EncodedLen()))
+}
+
+// Unmarshal decodes a packet from buf. The payload aliases buf; callers
+// that retain the packet beyond the life of buf must copy it.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderLen+TrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(buf))
+	}
+	if buf[0] != magic[0] || buf[1] != magic[1] {
+		return nil, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	plen := int(binary.BigEndian.Uint32(buf[20:24]))
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, plen)
+	}
+	total := HeaderLen + plen + TrailerLen
+	if len(buf) < total {
+		return nil, fmt.Errorf("%w: have %d want %d", ErrShortPacket, len(buf), total)
+	}
+	want := binary.BigEndian.Uint32(buf[HeaderLen+plen : total])
+	got := crc32.ChecksumIEEE(buf[:HeaderLen+plen])
+	if want != got {
+		return nil, ErrBadChecksum
+	}
+	return &Packet{
+		Type:    PacketType(buf[3]),
+		Flags:   buf[4],
+		Sender:  getID48(buf[6:12]),
+		Seq:     binary.BigEndian.Uint64(buf[12:20]),
+		Payload: buf[HeaderLen : HeaderLen+plen],
+	}, nil
+}
+
+// ClonePayload replaces the payload with a private copy, detaching the
+// packet from the decode buffer.
+func (p *Packet) ClonePayload() {
+	if p.Payload == nil {
+		return
+	}
+	cp := make([]byte, len(p.Payload))
+	copy(cp, p.Payload)
+	p.Payload = cp
+}
+
+func putID48(dst []byte, id ident.ID) {
+	v := uint64(id)
+	dst[0] = byte(v >> 40)
+	dst[1] = byte(v >> 32)
+	dst[2] = byte(v >> 24)
+	dst[3] = byte(v >> 16)
+	dst[4] = byte(v >> 8)
+	dst[5] = byte(v)
+}
+
+func getID48(src []byte) ident.ID {
+	return ident.ID(uint64(src[0])<<40 | uint64(src[1])<<32 |
+		uint64(src[2])<<24 | uint64(src[3])<<16 |
+		uint64(src[4])<<8 | uint64(src[5]))
+}
+
+// String renders the packet for logs.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%s sender=%s seq=%d flags=%02x len=%d}",
+		p.Type, p.Sender, p.Seq, p.Flags, len(p.Payload))
+}

@@ -1,0 +1,219 @@
+package smc_test
+
+import (
+	"testing"
+	"time"
+
+	smc "github.com/amuse/smc"
+)
+
+// TestPublicAPISimulatedNetwork exercises the facade exactly as the
+// README shows it: simulated network, cell, two devices, filtered
+// delivery.
+func TestPublicAPISimulatedNetwork(t *testing.T) {
+	secret := []byte("api-secret")
+	net := smc.NewNetwork(smc.LinkPerfect)
+	defer net.Close()
+
+	attach := func(id uint64) smc.Transport {
+		tr, err := net.Attach(smc.ID(id))
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		return tr
+	}
+
+	cell, err := smc.NewCell(attach(0x1001), attach(0x1002), smc.Config{
+		Cell:           "api-cell",
+		Secret:         secret,
+		Matcher:        smc.MatcherFast,
+		BeaconInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Start()
+	defer cell.Close()
+
+	sub, err := smc.JoinCell(attach(0x2001), smc.DeviceConfig{
+		Type: "generic", Name: "sub", Secret: secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := smc.JoinCell(attach(0x2002), smc.DeviceConfig{
+		Type: "generic", Name: "pub", Secret: secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	filter := smc.NewFilter().
+		WhereType(smc.TypeAlarm).
+		Where("severity", smc.OpGe, smc.Int(2))
+	if err := sub.Client.Subscribe(filter); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := pub.Client.Publish(
+		smc.NewTypedEvent(smc.TypeAlarm).SetInt("severity", 3)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := sub.Client.NextEvent(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type() != smc.TypeAlarm {
+		t.Errorf("type = %q", e.Type())
+	}
+
+	// Value helpers are wired through.
+	v, ok := e.Get("severity")
+	if !ok || !v.Equal(smc.Int(3)) {
+		t.Errorf("severity = %v", v)
+	}
+}
+
+// TestPublicAPITypedMatcher runs a cell on the type-based engine (§VI
+// future work) through the public facade: typed subscriptions receive
+// subtypes; untyped subscriptions are rejected by the engine.
+func TestPublicAPITypedMatcher(t *testing.T) {
+	secret := []byte("typed-secret")
+	net := smc.NewNetwork(smc.LinkPerfect)
+	defer net.Close()
+	attach := func(id uint64) smc.Transport {
+		tr, err := net.Attach(smc.ID(id))
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		return tr
+	}
+	cell, err := smc.NewCell(attach(0x1001), attach(0x1002), smc.Config{
+		Cell:           "typed-cell",
+		Secret:         secret,
+		Matcher:        smc.MatcherTyped,
+		BeaconInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Start()
+	defer cell.Close()
+	if cell.Bus.MatcherName() != "typed" {
+		t.Fatalf("matcher = %s", cell.Bus.MatcherName())
+	}
+
+	sub, err := smc.JoinCell(attach(0x2001), smc.DeviceConfig{
+		Type: "generic", Name: "sub", Secret: secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := smc.JoinCell(attach(0x2002), smc.DeviceConfig{
+		Type: "generic", Name: "pub", Secret: secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Subscribe to the supertype; receive the subtype.
+	if err := sub.Client.Subscribe(smc.NewFilter().WhereType("reading")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Client.Publish(smc.NewTypedEvent("reading/heart-rate").SetFloat("value", 64)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := sub.Client.NextEvent(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type() != "reading/heart-rate" {
+		t.Errorf("type = %q", e.Type())
+	}
+	// A sibling type is not delivered.
+	if err := pub.Client.Publish(smc.NewTypedEvent("actuate/defib")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Client.NextEvent(200 * time.Millisecond); err == nil {
+		t.Error("sibling type delivered")
+	}
+}
+
+// TestPublicAPIOverRealUDP runs the full stack — discovery with direct
+// addressing, admission, pub/sub — over real UDP sockets on loopback,
+// the prototype's §IV deployment.
+func TestPublicAPIOverRealUDP(t *testing.T) {
+	secret := []byte("udp-secret")
+
+	newUDP := func() smc.Transport {
+		tr, err := smc.NewUDPTransport()
+		if err != nil {
+			t.Skipf("UDP unavailable: %v", err)
+		}
+		return tr
+	}
+
+	cell, err := smc.NewCell(newUDP(), newUDP(), smc.Config{
+		Cell:   "udp-cell",
+		Secret: secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Start()
+	defer cell.Close()
+
+	join := func(name string) *smc.Device {
+		dev, err := smc.JoinCell(newUDP(), smc.DeviceConfig{
+			Type: "generic", Name: name, Secret: secret,
+			Cell: "udp-cell", Discovery: cell.Discovery.ID(),
+		})
+		if err != nil {
+			t.Fatalf("join %s: %v", name, err)
+		}
+		return dev
+	}
+	sub := join("udp-sub")
+	defer sub.Close()
+	pub := join("udp-pub")
+	defer pub.Close()
+
+	if err := sub.Client.Subscribe(smc.NewFilter().WhereType("ping")); err != nil {
+		t.Fatal(err)
+	}
+	const count = 10
+	for i := 0; i < count; i++ {
+		if err := pub.Client.Publish(smc.NewTypedEvent("ping").SetInt("n", int64(i))); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		e, err := sub.Client.NextEvent(5 * time.Second)
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		v, _ := e.Get("n")
+		if n, _ := v.Int(); n != int64(i) {
+			t.Fatalf("out of order over UDP: got %d want %d", n, i)
+		}
+	}
+}
+
+// TestPublicAPIPolicyRoundTrip drives the policy surface through the
+// facade.
+func TestPublicAPIPolicyRoundTrip(t *testing.T) {
+	f, err := smc.ParsePolicies(`
+obligation demo { on type = "t" do log("x") }
+authorization a { effect deny subject "s" action publish }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Obligations) != 1 || len(f.Authorizations) != 1 {
+		t.Fatalf("parsed %d/%d", len(f.Obligations), len(f.Authorizations))
+	}
+}
