@@ -85,6 +85,40 @@ func BenchmarkFig4bThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4bThroughputSweep extends Figure 4(b) beyond the paper:
+// payload streaming at fan-outs of 1–8 subscribers across pipeline
+// shard counts, with the host-cost model off so the bus pipeline
+// itself — not the simulated 2006 PDA — is the measurand. The win of
+// the sharded zero-copy pipeline (PR 1) shows up here; BENCH_PR1.json
+// records the before/after numbers.
+func BenchmarkFig4bThroughputSweep(b *testing.B) {
+	for _, fan := range []int{1, 4, 8} {
+		for _, shards := range []int{1, 4} {
+			name := fmt.Sprintf("fanout=%d/shards=%d", fan, shards)
+			b.Run(name, func(b *testing.B) {
+				env, err := bench.NewEnv(bench.FastRaw, bench.EnvConfig{
+					Link: netsim.USBLink, Subscribers: fan, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer env.Close()
+				b.ResetTimer()
+				var bps float64
+				var events int
+				for i := 0; i < b.N; i++ {
+					bps, events, err = env.Throughput(1000, 500*time.Millisecond, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(bps/1024, "KB/s")
+				b.ReportMetric(float64(events), "events")
+			})
+		}
+	}
+}
+
 // BenchmarkLinkBaseline measures the raw simulated link with no bus in
 // the path — the §V in-text calibration (≈575 KB/s, ≈1.5 ms).
 func BenchmarkLinkBaseline(b *testing.B) {

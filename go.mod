@@ -1,0 +1,3 @@
+module github.com/amuse/smc
+
+go 1.22

@@ -52,6 +52,9 @@ type EnvConfig struct {
 	Subscribers int
 	Quench      bool
 	Seed        int64
+	// Shards overrides the bus pipeline shard count (0 = bus default,
+	// GOMAXPROCS).
+	Shards int
 	// SubscribeAll: when false, subscribers are members but install
 	// no filters (the quench workload).
 	NoSubscriptions bool
@@ -80,6 +83,9 @@ func NewEnv(flavor Flavor, cfg EnvConfig) (*Env, error) {
 	opts := []bus.Option{bus.WithCost(flavor.Cost), bus.WithQueueDepth(8192)}
 	if cfg.Quench {
 		opts = append(opts, bus.WithQuench(true))
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, bus.WithShards(cfg.Shards))
 	}
 	b := bus.New(reliable.New(busTr, relConfig()), m, bootstrap.NewRegistry(), opts...)
 	b.Start()

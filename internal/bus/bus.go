@@ -9,12 +9,23 @@
 // and persistent delivery. Core services co-located with the bus
 // (discovery, policy, bootstrap) attach as local services without
 // crossing the network.
+//
+// The publish→match→deliver path is a sharded, allocation-free
+// pipeline: events are hashed by publisher ID onto one of several
+// worker shards (preserving the per-publisher FIFO guarantee of §II-C
+// while unrelated publishers match in parallel), counters are atomic,
+// membership is read from a copy-on-write snapshot, and one shared
+// immutable event is delivered to every match instead of a deep clone
+// per subscriber — the per-packet copying §V identifies as the
+// dominant cost on the constrained host.
 package bus
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/amuse/smc/internal/bootstrap"
@@ -39,7 +50,9 @@ var (
 	ErrUnauthorized = errors.New("bus: unauthorized")
 )
 
-// Handler consumes events delivered to a local service.
+// Handler consumes events delivered to a local service. The event is
+// shared with every other subscriber of the same publish and must be
+// treated as read-only.
 type Handler func(e *event.Event)
 
 // Authorizer is consulted before member publishes and subscriptions
@@ -55,7 +68,8 @@ type Authorizer interface {
 // per-byte cost for copies and OS↔runtime transfers (§V attributes the
 // observed response-time growth to packet-data copying). Zero costs
 // disable the model; benchmarks calibrate it per bus flavour as
-// documented in EXPERIMENTS.md.
+// documented in EXPERIMENTS.md. When the model is disabled the bus
+// skips event sizing entirely.
 type Cost struct {
 	IngestPerEvent  time.Duration
 	DeliverPerEvent time.Duration
@@ -79,8 +93,48 @@ type Stats struct {
 	AuthDenied      uint64
 	NonMember       uint64
 	BadPackets      uint64
+	// Dropped counts publishes shed because the processing queue was
+	// full (ErrBusy) — overload, as distinct from the corruption
+	// BadPackets counts.
+	Dropped         uint64
 	Subscriptions   uint64
 	Unsubscriptions uint64
+}
+
+// counters is the internal atomic form of Stats, updated lock-free on
+// the hot path.
+type counters struct {
+	published       atomic.Uint64
+	matched         atomic.Uint64
+	noMatch         atomic.Uint64
+	deliveredLocal  atomic.Uint64
+	enqueuedRemote  atomic.Uint64
+	quenches        atomic.Uint64
+	unquenches      atomic.Uint64
+	authDenied      atomic.Uint64
+	nonMember       atomic.Uint64
+	badPackets      atomic.Uint64
+	dropped         atomic.Uint64
+	subscriptions   atomic.Uint64
+	unsubscriptions atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Published:       c.published.Load(),
+		Matched:         c.matched.Load(),
+		NoMatch:         c.noMatch.Load(),
+		DeliveredLocal:  c.deliveredLocal.Load(),
+		EnqueuedRemote:  c.enqueuedRemote.Load(),
+		Quenches:        c.quenches.Load(),
+		Unquenches:      c.unquenches.Load(),
+		AuthDenied:      c.authDenied.Load(),
+		NonMember:       c.nonMember.Load(),
+		BadPackets:      c.badPackets.Load(),
+		Dropped:         c.dropped.Load(),
+		Subscriptions:   c.subscriptions.Load(),
+		Unsubscriptions: c.unsubscriptions.Load(),
+	}
 }
 
 // Option configures a Bus.
@@ -107,13 +161,51 @@ func WithProxyConfig(cfg proxy.Config) Option {
 	return func(b *Bus) { b.proxyCfg = cfg }
 }
 
-// WithQueueDepth sets the central processing queue depth.
+// WithQueueDepth sets the processing queue depth of each worker shard.
+// A publisher's burst capacity is its shard's depth — the same bound a
+// single-loop bus with this depth gives — while total queued events
+// are bounded by depth × shards.
 func WithQueueDepth(n int) Option {
 	return func(b *Bus) {
 		if n > 0 {
 			b.queueDepth = n
 		}
 	}
+}
+
+// WithShards sets the number of pipeline worker shards. Events are
+// hashed by publisher ID onto a shard, so one publisher's events are
+// always processed by one worker in FIFO order while different
+// publishers proceed in parallel. The default is GOMAXPROCS.
+func WithShards(n int) Option {
+	return func(b *Bus) {
+		if n > 0 {
+			b.shards = n
+		}
+	}
+}
+
+// membership is the immutable copy-on-write membership snapshot read
+// lock-free by the receive and dispatch paths; it is rebuilt under
+// Bus.mu whenever a member or local service is added or removed.
+// targets unions members and locals so dispatch resolves each match
+// with a single map probe.
+type membership struct {
+	members map[ident.ID]*memberState
+	locals  map[ident.ID]*LocalService
+	targets map[ident.ID]target
+}
+
+// target is one dispatch destination: exactly one field is set.
+type target struct {
+	ls *LocalService
+	ms *memberState
+}
+
+var emptyMembership = &membership{
+	members: map[ident.ID]*memberState{},
+	locals:  map[ident.ID]*LocalService{},
+	targets: map[ident.ID]target{},
 }
 
 // Bus is the event bus.
@@ -127,6 +219,11 @@ type Bus struct {
 	quenchOn   bool
 	proxyCfg   proxy.Config
 	queueDepth int
+	shards     int
+
+	// snap is the membership snapshot for the hot path; members and
+	// locals below are the canonical maps, mutated under mu only.
+	snap atomic.Pointer[membership]
 
 	mu       sync.Mutex
 	members  map[ident.ID]*memberState
@@ -134,12 +231,13 @@ type Bus struct {
 	quenched map[ident.ID]bool
 	extra    []*reliable.Channel
 	nextLoc  uint64
-	stats    Stats
-	closed   bool
+	closed   atomic.Bool // written under mu; read lock-free
 
-	work chan workItem
-	done chan struct{}
-	wg   sync.WaitGroup
+	ctr counters
+
+	workers []*shardWorker
+	done    chan struct{}
+	wg      sync.WaitGroup
 }
 
 type memberState struct {
@@ -147,9 +245,17 @@ type memberState struct {
 	px         *proxy.Proxy
 }
 
+// shardWorker is one pipeline worker: its own bounded queue plus
+// per-shard scratch, reused across events so dispatch does not
+// allocate.
+type shardWorker struct {
+	work    chan workItem
+	targets []ident.ID
+}
+
 type workItem struct {
 	e    *event.Event
-	size int // encoded size, for the cost model
+	size int // encoded size for the cost model; 0 when the model is off
 }
 
 // New builds a bus over a reliable channel with the given matching
@@ -162,15 +268,23 @@ func New(ch *reliable.Channel, m matcher.Matcher, reg *bootstrap.Registry, opts 
 		registry:   reg,
 		proxyCfg:   proxy.DefaultConfig(),
 		queueDepth: 4096,
+		shards:     runtime.GOMAXPROCS(0),
 		members:    make(map[ident.ID]*memberState),
 		locals:     make(map[ident.ID]*LocalService),
 		quenched:   make(map[ident.ID]bool),
 		done:       make(chan struct{}),
 	}
+	b.snap.Store(emptyMembership)
 	for _, o := range opts {
 		o(b)
 	}
-	b.work = make(chan workItem, b.queueDepth)
+	if b.shards < 1 {
+		b.shards = 1
+	}
+	b.workers = make([]*shardWorker, b.shards)
+	for i := range b.workers {
+		b.workers[i] = &shardWorker{work: make(chan workItem, b.queueDepth)}
+	}
 	return b
 }
 
@@ -185,21 +299,22 @@ func (b *Bus) SetAuthorizer(a Authorizer) { b.auth = a }
 // MatcherName reports the active matching mechanism.
 func (b *Bus) MatcherName() string { return b.match.Name() }
 
-// Stats returns a snapshot of the counters.
-func (b *Bus) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
-}
+// Shards reports the number of pipeline worker shards.
+func (b *Bus) Shards() int { return b.shards }
 
-// Start launches the receive and processing loops.
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats { return b.ctr.snapshot() }
+
+// Start launches the receive loop and the shard workers.
 func (b *Bus) Start() {
-	b.wg.Add(2)
+	b.wg.Add(1 + len(b.workers))
 	go func() {
 		defer b.wg.Done()
 		b.recvFrom(b.ch)
 	}()
-	go b.processLoop()
+	for _, w := range b.workers {
+		go b.shardLoop(w)
+	}
 }
 
 // AttachChannel routes packets arriving on an additional reliable
@@ -212,7 +327,7 @@ func (b *Bus) Start() {
 // before traffic is expected on the channel.
 func (b *Bus) AttachChannel(ch *reliable.Channel) {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		_ = ch.Close()
 		return
@@ -238,16 +353,18 @@ func (b *Bus) AddMemberVia(id ident.ID, deviceType, name string, via proxy.Sende
 // proxy is purged.
 func (b *Bus) Close() error {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return nil
 	}
-	b.closed = true
+	b.closed.Store(true)
 	members := make([]*memberState, 0, len(b.members))
 	for _, ms := range b.members {
 		members = append(members, ms)
 	}
 	b.members = make(map[ident.ID]*memberState)
+	b.locals = make(map[ident.ID]*LocalService)
+	b.snap.Store(emptyMembership)
 	extra := b.extra
 	b.extra = nil
 	b.mu.Unlock()
@@ -266,6 +383,25 @@ func (b *Bus) Close() error {
 
 // ---- membership ----
 
+// rebuildSnapshot publishes a fresh immutable membership snapshot from
+// the canonical maps. Caller holds b.mu.
+func (b *Bus) rebuildSnapshot() {
+	snap := &membership{
+		members: make(map[ident.ID]*memberState, len(b.members)),
+		locals:  make(map[ident.ID]*LocalService, len(b.locals)),
+		targets: make(map[ident.ID]target, len(b.members)+len(b.locals)),
+	}
+	for id, ms := range b.members {
+		snap.members[id] = ms
+		snap.targets[id] = target{ms: ms}
+	}
+	for id, ls := range b.locals {
+		snap.locals[id] = ls
+		snap.targets[id] = target{ls: ls}
+	}
+	b.snap.Store(snap)
+}
+
 // AddMember admits a service: a proxy of the appropriate concrete type
 // is created via the bootstrap registry (§III-C), started, and its
 // initial subscriptions installed.
@@ -275,7 +411,7 @@ func (b *Bus) AddMember(id ident.ID, deviceType, name string) error {
 
 func (b *Bus) addMember(id ident.ID, deviceType, name string, via proxy.Sender) error {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return ErrClosed
 	}
@@ -288,6 +424,7 @@ func (b *Bus) addMember(id ident.ID, deviceType, name string, via proxy.Sender) 
 		return b.enqueuePublish(e)
 	}, b.proxyCfg)
 	b.members[id] = &memberState{deviceType: deviceType, px: px}
+	b.rebuildSnapshot()
 	b.mu.Unlock()
 
 	px.Start()
@@ -307,6 +444,7 @@ func (b *Bus) RemoveMember(id ident.ID) {
 	ms, ok := b.members[id]
 	if ok {
 		delete(b.members, id)
+		b.rebuildSnapshot()
 	}
 	delete(b.quenched, id)
 	b.mu.Unlock()
@@ -332,35 +470,46 @@ func (b *Bus) Members() []ident.ID {
 // MemberProxy exposes a member's proxy (nil when absent); used by
 // integration tests and stats collection.
 func (b *Bus) MemberProxy(id ident.ID) *proxy.Proxy {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ms, ok := b.members[id]
+	ms, ok := b.memberState(id)
 	if !ok {
 		return nil
 	}
 	return ms.px
 }
 
+// memberState resolves a member from the lock-free snapshot.
 func (b *Bus) memberState(id ident.ID) (*memberState, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ms, ok := b.members[id]
+	ms, ok := b.snap.Load().members[id]
 	return ms, ok
 }
 
 // ---- publish path ----
 
-// enqueuePublish hands an event to the processor.
+// shardFor maps a publisher ID onto a worker shard. Fibonacci hashing
+// spreads the address-derived ID space evenly; one publisher always
+// lands on the same shard, preserving its FIFO order.
+func (b *Bus) shardFor(sender ident.ID) *shardWorker {
+	if len(b.workers) == 1 {
+		return b.workers[0]
+	}
+	h := uint64(sender) * 0x9E3779B97F4A7C15
+	return b.workers[(h>>32)%uint64(len(b.workers))]
+}
+
+// enqueuePublish hands an event to its publisher's shard. The encoded
+// size is computed — without encoding — only when the cost model needs
+// it.
 func (b *Bus) enqueuePublish(e *event.Event) error {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return ErrClosed
 	}
-	b.mu.Unlock()
-	item := workItem{e: e, size: wire.HeaderLen + len(wire.EncodeEvent(e))}
+	var item workItem
+	item.e = e
+	if b.cost.enabled() {
+		item.size = wire.HeaderLen + wire.EventSize(e)
+	}
 	select {
-	case b.work <- item:
+	case b.shardFor(e.Sender).work <- item:
 		return nil
 	case <-b.done:
 		return ErrClosed
@@ -391,19 +540,19 @@ func (b *Bus) handlePacket(pkt *wire.Packet) {
 		// Discovery/control traffic does not belong on the bus
 		// endpoint (the discovery protocol "does not use the event
 		// bus", §II-B).
-		b.bumpBad()
+		b.ctr.badPackets.Add(1)
 	}
 }
 
 func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 	ms, ok := b.memberState(pkt.Sender)
 	if !ok {
-		b.bumpNonMember()
+		b.ctr.nonMember.Add(1)
 		return
 	}
 	e, err := wire.DecodeEvent(pkt.Payload)
 	if err != nil {
-		b.bumpBad()
+		b.ctr.badPackets.Add(1)
 		return
 	}
 	// Anti-spoofing: a member's events carry its own identity, no
@@ -414,79 +563,80 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 	}
 	if b.auth != nil {
 		if err := b.auth.AuthorizePublish(pkt.Sender, ms.deviceType, e); err != nil {
-			b.mu.Lock()
-			b.stats.AuthDenied++
-			b.mu.Unlock()
+			b.ctr.authDenied.Add(1)
 			return
 		}
 	}
 	if err := b.enqueuePublish(e); err != nil {
-		b.bumpBad()
+		if errors.Is(err, ErrBusy) {
+			b.ctr.dropped.Add(1) // overload, not corruption
+		} else {
+			b.ctr.badPackets.Add(1)
+		}
 	}
 }
 
 func (b *Bus) handleDataPacket(pkt *wire.Packet) {
 	ms, ok := b.memberState(pkt.Sender)
 	if !ok {
-		b.bumpNonMember()
+		b.ctr.nonMember.Add(1)
 		return
 	}
 	// Raw device bytes: the member's proxy performs the
 	// pre-processing into fully fledged event objects (§III-B).
 	if err := ms.px.HandleInbound(pkt.Payload); err != nil {
-		b.bumpBad()
+		if errors.Is(err, ErrBusy) {
+			b.ctr.dropped.Add(1)
+		} else {
+			b.ctr.badPackets.Add(1)
+		}
 	}
 }
 
 func (b *Bus) handleSubscriptionPacket(pkt *wire.Packet) {
 	ms, ok := b.memberState(pkt.Sender)
 	if !ok {
-		b.bumpNonMember()
+		b.ctr.nonMember.Add(1)
 		return
 	}
 	f, err := wire.DecodeFilter(pkt.Payload)
 	if err != nil {
-		b.bumpBad()
+		b.ctr.badPackets.Add(1)
 		return
 	}
 	if pkt.Type == wire.PktSubscribe {
 		if b.auth != nil {
 			if err := b.auth.AuthorizeSubscribe(pkt.Sender, ms.deviceType, f); err != nil {
-				b.mu.Lock()
-				b.stats.AuthDenied++
-				b.mu.Unlock()
+				b.ctr.authDenied.Add(1)
 				return
 			}
 		}
 		if err := b.match.Subscribe(pkt.Sender, f); err != nil {
-			b.bumpBad()
+			b.ctr.badPackets.Add(1)
 			return
 		}
-		b.mu.Lock()
-		b.stats.Subscriptions++
-		b.mu.Unlock()
+		b.ctr.subscriptions.Add(1)
 		b.unquenchAll()
 		return
 	}
 	if err := b.match.Unsubscribe(pkt.Sender, f); err == nil {
-		b.mu.Lock()
-		b.stats.Unsubscriptions++
-		b.mu.Unlock()
+		b.ctr.unsubscriptions.Add(1)
 	}
 }
 
-func (b *Bus) processLoop() {
+// shardLoop drains one shard's queue until the bus closes, then drains
+// whatever is already queued and stops.
+func (b *Bus) shardLoop(w *shardWorker) {
 	defer b.wg.Done()
 	for {
 		select {
-		case item := <-b.work:
-			b.process(item)
+		case item := <-w.work:
+			b.process(w, item)
 		case <-b.done:
-			// Drain whatever is already queued, then stop.
 			for {
 				select {
-				case item := <-b.work:
-					b.process(item)
+				case item := <-w.work:
+					b.process(w, item)
 				default:
 					return
 				}
@@ -496,48 +646,46 @@ func (b *Bus) processLoop() {
 }
 
 // process matches one event and dispatches it to every interested
-// subscriber's proxy or local handler.
-func (b *Bus) process(item workItem) {
+// subscriber's proxy or local handler. The event is delivered shared
+// and immutable: proxies and handlers must not mutate it (proxies
+// whose devices do mutate clone on write — see proxy.EventMutator).
+func (b *Bus) process(w *shardWorker, item workItem) {
 	if b.cost.enabled() {
 		sleepCost(b.cost.IngestPerEvent + time.Duration(item.size)*b.cost.PerByte)
 	}
-	b.mu.Lock()
-	b.stats.Published++
-	b.mu.Unlock()
+	b.ctr.published.Add(1)
 
-	targets := b.match.Match(item.e)
-	if len(targets) == 0 {
-		b.mu.Lock()
-		b.stats.NoMatch++
-		b.mu.Unlock()
+	w.targets = b.match.MatchAppend(item.e, w.targets[:0])
+	if len(w.targets) == 0 {
+		b.ctr.noMatch.Add(1)
 		b.maybeQuench(item.e.Sender)
 		return
 	}
-	b.mu.Lock()
-	b.stats.Matched++
-	b.mu.Unlock()
+	b.ctr.matched.Add(1)
 
-	for _, t := range targets {
-		if ls := b.localService(t); ls != nil {
-			ls.dispatch(item.e)
-			b.mu.Lock()
-			b.stats.DeliveredLocal++
-			b.mu.Unlock()
-			continue
-		}
-		ms, ok := b.memberState(t)
-		if !ok {
+	snap := b.snap.Load()
+	var nLocal, nRemote uint64
+	for _, t := range w.targets {
+		tgt, ok := snap.targets[t]
+		switch {
+		case !ok:
 			continue // purged between match and dispatch
+		case tgt.ls != nil:
+			tgt.ls.dispatch(item.e)
+			nLocal++
+		default:
+			if b.cost.enabled() {
+				sleepCost(b.cost.DeliverPerEvent + time.Duration(item.size)*b.cost.PerByte)
+			}
+			tgt.ms.px.Enqueue(item.e)
+			nRemote++
 		}
-		if b.cost.enabled() {
-			sleepCost(b.cost.DeliverPerEvent + time.Duration(item.size)*b.cost.PerByte)
-		}
-		// Each subscriber gets its own copy: proxies may translate
-		// or queue independently.
-		ms.px.Enqueue(item.e.Clone())
-		b.mu.Lock()
-		b.stats.EnqueuedRemote++
-		b.mu.Unlock()
+	}
+	if nLocal > 0 {
+		b.ctr.deliveredLocal.Add(nLocal)
+	}
+	if nRemote > 0 {
+		b.ctr.enqueuedRemote.Add(nRemote)
 	}
 }
 
@@ -552,7 +700,7 @@ func (b *Bus) maybeQuench(sender ident.ID) {
 	already := b.quenched[sender]
 	if isMember && !already {
 		b.quenched[sender] = true
-		b.stats.Quenches++
+		b.ctr.quenches.Add(1)
 	}
 	b.mu.Unlock()
 	if isMember && !already {
@@ -567,7 +715,7 @@ func (b *Bus) unquenchAll() {
 		ids = append(ids, id)
 		delete(b.quenched, id)
 	}
-	b.stats.Unquenches += uint64(len(ids))
+	b.ctr.unquenches.Add(uint64(len(ids)))
 	b.mu.Unlock()
 	for _, id := range ids {
 		_ = b.ch.SendUnreliable(id, wire.PktUnquench, nil)
@@ -575,18 +723,6 @@ func (b *Bus) unquenchAll() {
 }
 
 // ---- helpers ----
-
-func (b *Bus) bumpBad() {
-	b.mu.Lock()
-	b.stats.BadPackets++
-	b.mu.Unlock()
-}
-
-func (b *Bus) bumpNonMember() {
-	b.mu.Lock()
-	b.stats.NonMember++
-	b.mu.Unlock()
-}
 
 // sleepCost busy-waits for very short costs and sleeps for longer ones,
 // keeping the model usable at sub-millisecond calibrations.

@@ -78,6 +78,21 @@ func subscribe(t *testing.T, ch *reliable.Channel, f *event.Filter) {
 	}
 }
 
+// waitForSubs blocks until the bus's matcher holds n installed filters:
+// a subscribe Send returns on the channel-level ack, before the bus has
+// processed the packet, so tests that publish immediately after
+// subscribing must wait for installation.
+func waitForSubs(t *testing.T, b *Bus, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.match.SubscriptionCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriptions = %d, want %d", b.match.SubscriptionCount(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func expectEvent(t *testing.T, ch *reliable.Channel, timeout time.Duration) *event.Event {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
@@ -106,6 +121,7 @@ func TestBusRoutesToRemoteSubscriber(t *testing.T) {
 	pub := r.member(t, 1, "generic")
 	sub := r.member(t, 2, "generic")
 	subscribe(t, sub, event.NewFilter().WhereType("alarm"))
+	waitForSubs(t, r.bus, 1)
 
 	publish(t, pub, event.NewTyped("alarm").SetInt("v", 5))
 	e := expectEvent(t, sub, 2*time.Second)
@@ -215,6 +231,7 @@ func TestPerSenderFIFOEndToEnd(t *testing.T) {
 	pub := r.member(t, 1, "generic")
 	sub := r.member(t, 2, "generic")
 	subscribe(t, sub, event.NewFilter().WhereType("seq"))
+	waitForSubs(t, r.bus, 1)
 
 	const count = 30
 	for i := 0; i < count; i++ {
@@ -283,6 +300,7 @@ func TestRemoteUnsubscribeStopsDelivery(t *testing.T) {
 	sub := r.member(t, 2, "generic")
 	f := event.NewFilter().WhereType("x")
 	subscribe(t, sub, f)
+	waitForSubs(t, r.bus, 1)
 
 	publish(t, pub, event.NewTyped("x").SetInt("n", 1))
 	expectEvent(t, sub, 2*time.Second)
@@ -434,5 +452,35 @@ func TestBusReportsMatcherName(t *testing.T) {
 	}
 	if r.bus.ID() != ident.New(busID) {
 		t.Errorf("ID = %s", r.bus.ID())
+	}
+}
+
+// TestDroppedCounterDistinguishesOverload floods a one-slot queue
+// behind a slow cost model: queue-full sheds must land in
+// Stats.Dropped, not BadPackets, so overload stays distinguishable
+// from corruption.
+func TestDroppedCounterDistinguishesOverload(t *testing.T) {
+	r := newRig(t,
+		WithShards(1),
+		WithQueueDepth(1),
+		WithCost(Cost{IngestPerEvent: 10 * time.Millisecond}),
+	)
+	pub := r.member(t, 1, "generic")
+	for i := 0; i < 20; i++ {
+		publish(t, pub, event.NewTyped("flood").SetInt("n", int64(i)))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.bus.Stats().Dropped > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := r.bus.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("overload did not increment Dropped")
+	}
+	if st.BadPackets != 0 {
+		t.Errorf("overload counted as BadPackets (%d)", st.BadPackets)
 	}
 }

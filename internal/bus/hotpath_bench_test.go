@@ -1,0 +1,154 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/bootstrap"
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/matcher"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/reliable"
+)
+
+// BenchmarkBusHotPath measures the publish→match→deliver pipeline with
+// the cost model off and no network in the timed path: GOMAXPROCS
+// concurrent publishers flood the bus and the fan-out is either local
+// services (pure dispatch) or member proxies (the enqueue side of
+// remote delivery). ns/op is per published event; the events/sec
+// metric is the published-event throughput of the whole pipeline.
+//
+// BENCH_PR1.json records the before/after numbers for PR 1.
+func BenchmarkBusHotPath(b *testing.B) {
+	for _, delivery := range []string{"local", "member"} {
+		for _, fan := range []int{1, 8} {
+			for _, shards := range shardCounts() {
+				name := fmt.Sprintf("delivery=%s/fanout=%d/shards=%d", delivery, fan, shards)
+				b.Run(name, func(b *testing.B) {
+					benchHotPath(b, delivery, fan, WithShards(shards))
+				})
+			}
+		}
+	}
+}
+
+// shardCounts returns the shard sweep 1, 4, GOMAXPROCS, deduplicated.
+func shardCounts() []int {
+	counts := []int{1}
+	for _, n := range []int{4, runtime.GOMAXPROCS(0)} {
+		dup := false
+		for _, have := range counts {
+			dup = dup || have == n
+		}
+		if !dup {
+			counts = append(counts, n)
+		}
+	}
+	return counts
+}
+
+func benchHotPath(b *testing.B, delivery string, fan int, opts ...Option) {
+	n := netsim.New(netsim.Perfect, netsim.WithSeed(11))
+	defer n.Close()
+	tr, err := n.Attach(ident.New(busID))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts = append([]Option{WithQueueDepth(8192)}, opts...)
+	bus := New(reliable.New(tr, testCfg()), matcher.NewFast(), bootstrap.NewRegistry(), opts...)
+	bus.Start()
+	defer bus.Close()
+
+	filter := event.NewFilter().WhereType("bench")
+	var delivered atomic.Uint64
+	switch delivery {
+	case "local":
+		for i := 0; i < fan; i++ {
+			svc := bus.Local(fmt.Sprintf("sub-%d", i))
+			if err := svc.Subscribe(filter, func(*event.Event) {
+				delivered.Add(1)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	case "member":
+		// Members are never attached to the network: their proxies'
+		// delivery workers idle in redelivery backoff while the timed
+		// path measures match+enqueue. Progress is tracked through the
+		// EnqueuedRemote counter instead of the handler count.
+		for i := 0; i < fan; i++ {
+			id := ident.New(uint64(0x200 + i))
+			if err := bus.AddMember(id, "generic", fmt.Sprintf("sub-%d", i)); err != nil {
+				b.Fatal(err)
+			}
+			if err := bus.match.Subscribe(id, filter); err != nil {
+				b.Fatal(err)
+			}
+		}
+	default:
+		b.Fatalf("unknown delivery %q", delivery)
+	}
+
+	pubs := runtime.GOMAXPROCS(0)
+	svcs := make([]*LocalService, pubs)
+	for p := range svcs {
+		svcs[p] = bus.Local(fmt.Sprintf("pub-%d", p))
+	}
+	baseEnq := bus.Stats().EnqueuedRemote
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		quota := b.N / pubs
+		if p < b.N%pubs {
+			quota++
+		}
+		wg.Add(1)
+		go func(svc *LocalService, quota int) {
+			defer wg.Done()
+			for i := 0; i < quota; i++ {
+				e := event.NewTyped("bench").SetInt("k", int64(i))
+				for {
+					err := svc.Publish(e)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBusy) {
+						b.Error(err)
+						return
+					}
+					runtime.Gosched() // backpressure: queue full
+				}
+			}
+		}(svcs[p], quota)
+	}
+	wg.Wait()
+
+	// Wait until every published event has been fully dispatched.
+	want := uint64(b.N) * uint64(fan)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var got uint64
+		if delivery == "local" {
+			got = delivered.Load()
+		} else {
+			got = bus.Stats().EnqueuedRemote - baseEnq
+		}
+		if got >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("dispatched %d of %d events", got, want)
+		}
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -3,6 +3,7 @@ package bus
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
@@ -18,9 +19,9 @@ type LocalService struct {
 	name string
 	b    *Bus
 
-	mu       sync.Mutex
-	handlers []localHandler
-	seq      uint64
+	mu       sync.Mutex                     // serialises handler mutations and publishes
+	handlers atomic.Pointer[[]localHandler] // copy-on-write; read lock-free
+	seq      uint64                         // guarded by mu
 }
 
 type localHandler struct {
@@ -45,13 +46,8 @@ func (b *Bus) Local(name string) *LocalService {
 	id := localIDBase | ident.ID(b.nextLoc)
 	ls := &LocalService{id: id, name: name, b: b}
 	b.locals[id] = ls
+	b.rebuildSnapshot()
 	return ls
-}
-
-func (b *Bus) localService(id ident.ID) *LocalService {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.locals[id]
 }
 
 // ID returns the local service's synthetic ID.
@@ -61,7 +57,9 @@ func (l *LocalService) ID() ident.ID { return l.id }
 func (l *LocalService) Name() string { return l.name }
 
 // Subscribe installs a filter whose matches are delivered to fn. The
-// handler runs on the bus's processing goroutine and must not block.
+// handler runs on a bus shard goroutine and must not block; the event
+// it receives is shared with other subscribers and must be treated as
+// read-only.
 func (l *LocalService) Subscribe(f *event.Filter, fn Handler) error {
 	if f == nil || fn == nil {
 		return fmt.Errorf("bus: local subscribe needs filter and handler")
@@ -70,11 +68,14 @@ func (l *LocalService) Subscribe(f *event.Filter, fn Handler) error {
 		return err
 	}
 	l.mu.Lock()
-	l.handlers = append(l.handlers, localHandler{filter: f.Clone(), fn: fn})
+	var hs []localHandler
+	if cur := l.handlers.Load(); cur != nil {
+		hs = append(hs, *cur...)
+	}
+	hs = append(hs, localHandler{filter: f.Clone(), fn: fn})
+	l.handlers.Store(&hs)
 	l.mu.Unlock()
-	l.b.mu.Lock()
-	l.b.stats.Subscriptions++
-	l.b.mu.Unlock()
+	l.b.ctr.subscriptions.Add(1)
 	l.b.unquenchAll()
 	return nil
 }
@@ -85,11 +86,17 @@ func (l *LocalService) Unsubscribe(f *event.Filter) error {
 		return err
 	}
 	l.mu.Lock()
-	for i, h := range l.handlers {
-		if h.filter.Equal(f) {
-			l.handlers = append(l.handlers[:i], l.handlers[i+1:]...)
-			break
+	if cur := l.handlers.Load(); cur != nil {
+		hs := make([]localHandler, 0, len(*cur))
+		removed := false
+		for _, h := range *cur {
+			if !removed && h.filter.Equal(f) {
+				removed = true
+				continue
+			}
+			hs = append(hs, h)
 		}
+		l.handlers.Store(&hs)
 	}
 	l.mu.Unlock()
 	return nil
@@ -97,24 +104,32 @@ func (l *LocalService) Unsubscribe(f *event.Filter) error {
 
 // Publish injects an event into the bus under this service's ID. A
 // per-service sequence number is assigned so that local publishes obey
-// the same per-sender FIFO contract as remote ones.
+// the same per-sender FIFO contract as remote ones; the lock spans
+// both the assignment and the (non-blocking) enqueue so concurrent
+// publishers on one service cannot invert seq order in the shard
+// queue.
 func (l *LocalService) Publish(e *event.Event) error {
 	e.Sender = l.id
 	l.mu.Lock()
 	l.seq++
 	e.Seq = l.seq
+	err := l.b.enqueuePublish(e)
 	l.mu.Unlock()
-	return l.b.enqueuePublish(e)
+	return err
 }
 
 // dispatch fans a matched event out to the handlers whose filters it
-// satisfies.
+// satisfies. It runs on a shard goroutine and reads the copy-on-write
+// handler list without locking or copying. Every handler's filter is
+// re-evaluated — the matcher's verdict is per service, and during a
+// subscribe/unsubscribe window the handler list may not correspond to
+// the filter set that verdict was computed against.
 func (l *LocalService) dispatch(e *event.Event) {
-	l.mu.Lock()
-	hs := make([]localHandler, len(l.handlers))
-	copy(hs, l.handlers)
-	l.mu.Unlock()
-	for _, h := range hs {
+	hs := l.handlers.Load()
+	if hs == nil {
+		return
+	}
+	for _, h := range *hs {
 		if h.filter.Matches(e) {
 			h.fn(e)
 		}

@@ -56,6 +56,9 @@ func TestMemberOnSecondTransport(t *testing.T) {
 		wire.EncodeFilter(event.NewFilter().WhereType("diagnostic"))); err != nil {
 		t.Fatal(err)
 	}
+	// The subscribe ack is channel-level: wait for the bus to install
+	// the filter before publishing, or the event matches nothing.
+	waitForSubs(t, b, 1)
 
 	// The diagnostic device on Ethernet, proxied via the second
 	// channel.
@@ -87,6 +90,7 @@ func TestMemberOnSecondTransport(t *testing.T) {
 		wire.EncodeFilter(event.NewFilter().WhereType("vitals"))); err != nil {
 		t.Fatal(err)
 	}
+	waitForSubs(t, b, 2)
 	v := event.NewTyped("vitals").SetFloat("hr", 71)
 	v.Sender = wsub.LocalID()
 	if err := wsub.Send(ident.New(busID), wire.PktEvent, wire.EncodeEvent(v)); err != nil {

@@ -41,9 +41,9 @@ func TestWithProxyConfigApplies(t *testing.T) {
 }
 
 func TestWithQueueDepthBoundsBacklog(t *testing.T) {
-	// Depth 1 with a slow cost model: a burst overflows and is
-	// counted as ErrBusy drops (BadPackets via enqueue failure for
-	// remote publishes, error return for local ones).
+	// Depth 1 with a slow cost model: a burst overflows into ErrBusy
+	// (surfaced as Stats.Dropped for remote publishes, as an error
+	// return for local ones).
 	r := newRig(t, WithQueueDepth(1), WithCost(Cost{IngestPerEvent: 50 * time.Millisecond}))
 	svc := r.bus.Local("burster")
 	var busy int

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/amuse/smc/internal/ident"
@@ -142,11 +143,38 @@ func (e *Event) Names() []string {
 	return names
 }
 
+// namesPool recycles the scratch name slices Range sorts into, keeping
+// ordered iteration allocation-free on the bus hot path.
+var namesPool = sync.Pool{New: func() interface{} {
+	s := make([]string, 0, 16)
+	return &s
+}}
+
 // Range calls fn for every attribute in sorted name order; if fn returns
 // false the iteration stops.
 func (e *Event) Range(fn func(name string, v Value) bool) {
-	for _, n := range e.Names() {
+	np := namesPool.Get().(*[]string)
+	names := (*np)[:0]
+	for n := range e.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
 		if !fn(n, e.attrs[n]) {
+			break
+		}
+	}
+	*np = names[:0]
+	namesPool.Put(np)
+}
+
+// RangeAny calls fn for every attribute in unspecified order; if fn
+// returns false the iteration stops. Unlike Range it never sorts or
+// allocates, so matching and sizing — which do not depend on attribute
+// order — can use it on the hot path.
+func (e *Event) RangeAny(fn func(name string, v Value) bool) {
+	for n, v := range e.attrs {
+		if !fn(n, v) {
 			return
 		}
 	}

@@ -133,6 +133,17 @@ func (v Value) Bytes() ([]byte, bool) {
 	return cp, true
 }
 
+// BytesRef returns the byte payload without copying; ok is false for
+// other types. The slice aliases the value's backing array and MUST be
+// treated as read-only — it exists so that encoding and sizing at
+// trusted boundaries avoid the defensive copy Bytes makes.
+func (v Value) BytesRef() ([]byte, bool) {
+	if v.typ != TypeBytes {
+		return nil, false
+	}
+	return v.raw, true
+}
+
 // bytesRef returns the byte payload without copying, for internal
 // read-only use (matching, encoding).
 func (v Value) bytesRef() []byte { return v.raw }

@@ -25,6 +25,10 @@ type FastMatcher struct {
 	dense []*fastFilter
 	free  []int
 	count int
+	// empties lists installed filters with no constraints; they never
+	// enter the attribute index (they match everything) and keeping
+	// them separate spares Match a scan over every subscriber.
+	empties []*fastFilter
 	// scratch pools per-match counter arrays.
 	scratch sync.Pool
 }
@@ -42,11 +46,14 @@ type fastFilter struct {
 // matchScratch is the per-match counting state: counts[i] is the
 // number of satisfied constraints of dense[i] in the current match,
 // valid only when stamps[i] equals the current epoch — so the arrays
-// never need zeroing between matches.
+// never need zeroing between matches. matched and seen are reused
+// across matches so the hot path performs no allocation at all.
 type matchScratch struct {
-	counts []int32
-	stamps []uint32
-	epoch  uint32
+	counts  []int32
+	stamps  []uint32
+	epoch   uint32
+	matched []*fastFilter
+	seen    map[ident.ID]struct{}
 }
 
 // constraintRef ties a constraint back to its filter.
@@ -105,31 +112,32 @@ func keyOf(v event.Value) (valueKey, bool) {
 	}
 }
 
-// numericKeys returns the equality-index keys an event value should
+// probeKeys returns the equality-index keys an event value should
 // probe: numeric values match both int- and float-keyed constraints of
-// the same magnitude.
-func probeKeys(v event.Value) []valueKey {
+// the same magnitude. The keys are returned by value (array + count)
+// so the per-attribute probe never allocates.
+func probeKeys(v event.Value) (keys [2]valueKey, n int) {
 	switch v.Type() {
 	case event.TypeInt:
 		i, _ := v.Int()
-		return []valueKey{
-			{t: event.TypeInt, n: float64(i)},
-			{t: event.TypeFloat, n: float64(i)},
-		}
+		keys[0] = valueKey{t: event.TypeInt, n: float64(i)}
+		keys[1] = valueKey{t: event.TypeFloat, n: float64(i)}
+		return keys, 2
 	case event.TypeFloat:
 		f, _ := v.Float()
-		return []valueKey{
-			{t: event.TypeFloat, n: f},
-			{t: event.TypeInt, n: f},
-		}
+		keys[0] = valueKey{t: event.TypeFloat, n: f}
+		keys[1] = valueKey{t: event.TypeInt, n: f}
+		return keys, 2
 	case event.TypeString:
 		s, _ := v.Str()
-		return []valueKey{{t: event.TypeString, s: s}}
+		keys[0] = valueKey{t: event.TypeString, s: s}
+		return keys, 1
 	case event.TypeBool:
 		b, _ := v.Bool()
-		return []valueKey{{t: event.TypeBool, b: b}}
+		keys[0] = valueKey{t: event.TypeBool, b: b}
+		return keys, 1
 	default:
-		return nil
+		return keys, 0
 	}
 }
 
@@ -172,6 +180,9 @@ func (m *FastMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
 	}
 	m.subs[sub] = append(m.subs[sub], ff)
 	m.count++
+	if ff.need == 0 {
+		m.empties = append(m.empties, ff)
+	}
 	for _, c := range ff.filter.Constraints() {
 		m.indexFor(c.Name).add(&constraintRef{c: c, f: ff})
 	}
@@ -300,6 +311,14 @@ func (m *FastMatcher) UnsubscribeAll(sub ident.ID) {
 func (m *FastMatcher) releaseSlot(ff *fastFilter) {
 	m.dense[ff.idx] = nil
 	m.free = append(m.free, ff.idx)
+	if ff.need == 0 {
+		for i, have := range m.empties {
+			if have == ff {
+				m.empties = append(m.empties[:i], m.empties[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 func (m *FastMatcher) removeFromIndex(ff *fastFilter) {
@@ -332,12 +351,18 @@ func (m *FastMatcher) SubscriptionCount() int {
 	return m.count
 }
 
-// Match implements Matcher via the counting algorithm: one pass over
-// the event's attributes, bumping a counter per touched filter; filters
-// whose every constraint is satisfied match. Empty filters match
-// everything. Counters live in pooled epoch-stamped arrays so the hot
-// path performs no per-match allocation or map hashing.
+// Match implements Matcher. See MatchAppend.
 func (m *FastMatcher) Match(e *event.Event) []ident.ID {
+	return m.MatchAppend(e, nil)
+}
+
+// MatchAppend implements Matcher via the counting algorithm: one pass
+// over the event's attributes, bumping a counter per touched filter;
+// filters whose every constraint is satisfied match. Empty filters
+// match everything. Counters, the matched list and the dedup set live
+// in pooled epoch-stamped scratch so the hot path performs no per-match
+// allocation.
+func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
@@ -354,9 +379,18 @@ func (m *FastMatcher) Match(e *event.Event) []ident.ID {
 		}
 		sc.epoch = 1
 	}
-	defer m.scratch.Put(sc)
+	if sc.seen == nil {
+		sc.seen = make(map[ident.ID]struct{}, 8)
+	}
+	sc.matched = sc.matched[:0]
+	defer func() {
+		for id := range sc.seen {
+			delete(sc.seen, id)
+		}
+		sc.matched = sc.matched[:0]
+		m.scratch.Put(sc)
+	}()
 
-	var matched []*fastFilter
 	bump := func(ref *constraintRef) {
 		i := ref.f.idx
 		if sc.stamps[i] != sc.epoch {
@@ -365,11 +399,11 @@ func (m *FastMatcher) Match(e *event.Event) []ident.ID {
 		}
 		sc.counts[i]++
 		if sc.counts[i] == ref.f.need {
-			matched = append(matched, ref.f)
+			sc.matched = append(sc.matched, ref.f)
 		}
 	}
 
-	e.Range(func(name string, v event.Value) bool {
+	e.RangeAny(func(name string, v event.Value) bool {
 		ai, ok := m.index[name]
 		if !ok {
 			return true
@@ -377,8 +411,9 @@ func (m *FastMatcher) Match(e *event.Event) []ident.ID {
 		for _, ref := range ai.exists {
 			bump(ref)
 		}
-		for _, k := range probeKeys(v) {
-			for _, ref := range ai.eq[k] {
+		keys, kn := probeKeys(v)
+		for ki := 0; ki < kn; ki++ {
+			for _, ref := range ai.eq[keys[ki]] {
 				bump(ref)
 			}
 		}
@@ -412,28 +447,20 @@ func (m *FastMatcher) Match(e *event.Event) []ident.ID {
 		return true
 	})
 
-	seen := make(map[ident.ID]bool, 8)
-	var out []ident.ID
-	for _, ff := range matched {
-		if !seen[ff.sub] {
-			seen[ff.sub] = true
-			out = append(out, ff.sub)
+	for _, ff := range sc.matched {
+		if _, dup := sc.seen[ff.sub]; !dup {
+			sc.seen[ff.sub] = struct{}{}
+			dst = append(dst, ff.sub)
 		}
 	}
 	// Empty filters (need == 0) never enter the index; they match all.
-	for sub, list := range m.subs {
-		if seen[sub] {
-			continue
-		}
-		for _, ff := range list {
-			if ff.need == 0 {
-				seen[sub] = true
-				out = append(out, sub)
-				break
-			}
+	for _, ff := range m.empties {
+		if _, dup := sc.seen[ff.sub]; !dup {
+			sc.seen[ff.sub] = struct{}{}
+			dst = append(dst, ff.sub)
 		}
 	}
-	return out
+	return dst
 }
 
 // valueAsNumeric mirrors the event package's numeric projection (ints

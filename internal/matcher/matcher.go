@@ -38,6 +38,11 @@ type Matcher interface {
 	// Match returns the distinct subscribers whose filters the event
 	// satisfies, in unspecified order.
 	Match(e *event.Event) []ident.ID
+	// MatchAppend appends the distinct subscribers whose filters the
+	// event satisfies to dst and returns the extended slice, so a
+	// caller can reuse one target slice across matches and keep the
+	// dispatch hot path allocation-free. dst may be nil.
+	MatchAppend(e *event.Event, dst []ident.ID) []ident.ID
 	// SubscriptionCount reports the number of installed filters.
 	SubscriptionCount() int
 }

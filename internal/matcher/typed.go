@@ -189,38 +189,64 @@ func (m *TypedMatcher) SubscriptionCount() int {
 	return m.count
 }
 
-// Match implements Matcher: walk the event's type path from the root,
-// collecting subscriptions at every ancestor (a subscription to
-// "reading" sees "reading/heart-rate"), then apply content guards.
+// Match implements Matcher. See MatchAppend.
 func (m *TypedMatcher) Match(e *event.Event) []ident.ID {
+	return m.MatchAppend(e, nil)
+}
+
+// typedScratch pools the per-match dedup sets so the type walk stays
+// allocation-free apart from the caller's target slice.
+var typedScratch = sync.Pool{New: func() interface{} {
+	return make(map[ident.ID]struct{}, 8)
+}}
+
+// MatchAppend implements Matcher: walk the event's type path from the
+// root, collecting subscriptions at every ancestor (a subscription to
+// "reading" sees "reading/heart-rate"), then apply content guards.
+func (m *TypedMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
-	path := splitTypePath(e.Type())
-	seen := make(map[ident.ID]bool, 4)
-	var out []ident.ID
+	seen := typedScratch.Get().(map[ident.ID]struct{})
+	defer func() {
+		for id := range seen {
+			delete(seen, id)
+		}
+		typedScratch.Put(seen)
+	}()
 	collect := func(n *typeNode) {
 		for _, ts := range n.subs {
-			if seen[ts.sub] {
+			if _, dup := seen[ts.sub]; dup {
 				continue
 			}
 			if guardsMatch(ts.guards, e) {
-				seen[ts.sub] = true
-				out = append(out, ts.sub)
+				seen[ts.sub] = struct{}{}
+				dst = append(dst, ts.sub)
 			}
 		}
 	}
 	node := m.root
 	collect(node) // subscriptions to the root type ("" = all types)
-	for _, seg := range path {
+	// Walk the '/'-separated path by slicing in place (no Split
+	// allocation on the match path).
+	for s := e.Type(); s != ""; {
+		var seg string
+		if i := strings.IndexByte(s, '/'); i < 0 {
+			seg, s = s, ""
+		} else {
+			seg, s = s[:i], s[i+1:]
+		}
+		if seg == "" {
+			continue
+		}
 		child, ok := node.children[seg]
 		if !ok {
-			return out
+			return dst
 		}
 		node = child
 		collect(node)
 	}
-	return out
+	return dst
 }
 
 func guardsMatch(guards []event.Constraint, e *event.Event) bool {

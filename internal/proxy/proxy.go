@@ -30,6 +30,11 @@ import (
 )
 
 // Sender is the slice of the reliable channel a proxy needs.
+// Implementations must not retain payload after Send returns: the
+// proxy recycles encode buffers through a pool, so a Sender that
+// queues the slice for asynchronous transmission must copy it first
+// (the in-repo reliable.Channel marshals into its own buffer and
+// blocks until acknowledgement, satisfying this trivially).
 type Sender interface {
 	Send(dst ident.ID, ptype wire.PacketType, payload []byte) error
 }
@@ -37,9 +42,19 @@ type Sender interface {
 // Publisher lets a proxy inject translated device data into the bus.
 type Publisher func(e *event.Event) error
 
+// EventMutator is optionally implemented by Devices whose TranslateOut
+// modifies the event it is handed. The bus delivers one shared,
+// immutable event to every subscriber's proxy (zero-copy dispatch); a
+// proxy whose device declares MutatesEvents()==true receives a private
+// clone instead — clone-on-write at the only place a copy is needed.
+type EventMutator interface {
+	MutatesEvents() bool
+}
+
 // Device is the concrete half of a proxy: the device-type-specific
 // translation logic. Implementations must be safe for use from the
-// proxy's goroutines.
+// proxy's goroutines. TranslateOut must treat the event as read-only
+// unless the device also implements EventMutator.
 type Device interface {
 	// DeviceType names the device class this translator serves.
 	DeviceType() string
@@ -126,11 +141,12 @@ type Stats struct {
 // Proxy is the generic proxy: outbound FIFO queue, delivery worker,
 // inbound translation.
 type Proxy struct {
-	member ident.ID
-	dev    Device
-	sender Sender
-	pub    Publisher
-	cfg    Config
+	member   ident.ID
+	dev      Device
+	sender   Sender
+	pub      Publisher
+	cfg      Config
+	cloneOut bool // device mutates events: clone before TranslateOut
 
 	mu      sync.Mutex
 	queue   []*event.Event
@@ -152,7 +168,7 @@ func New(member ident.ID, dev Device, sender Sender, pub Publisher, cfg Config) 
 	if cfg.RedeliveryInterval <= 0 {
 		cfg.RedeliveryInterval = DefaultConfig().RedeliveryInterval
 	}
-	return &Proxy{
+	p := &Proxy{
 		member: member,
 		dev:    dev,
 		sender: sender,
@@ -162,6 +178,10 @@ func New(member ident.ID, dev Device, sender Sender, pub Publisher, cfg Config) 
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if m, ok := dev.(EventMutator); ok {
+		p.cloneOut = m.MutatesEvents()
+	}
+	return p
 }
 
 // Member returns the represented member's ID.
@@ -180,9 +200,11 @@ func (p *Proxy) Start() {
 	go p.deliverLoop()
 }
 
-// Enqueue appends an outbound event to the FIFO queue. When the queue
-// is full the oldest event is dropped (bounded memory); this is counted
-// in Stats.DroppedOldest.
+// Enqueue appends an outbound event to the FIFO queue. The event may be
+// shared with other subscribers' proxies and must not be mutated (the
+// bus dispatches one immutable event to every match). When the queue is
+// full the oldest event is dropped (bounded memory); this is counted in
+// Stats.DroppedOldest.
 func (p *Proxy) Enqueue(e *event.Event) {
 	p.mu.Lock()
 	if p.stopped {
@@ -287,6 +309,15 @@ func (p *Proxy) next() (*event.Event, bool) {
 	return e, true
 }
 
+// encBufPool recycles outbound encode buffers across deliveries: the
+// reliable channel blocks until the packet is acknowledged (and copies
+// the payload into the marshalled datagram), so the buffer is free for
+// reuse as soon as Send returns.
+var encBufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
 // deliverOne pushes one event to the device, retrying after reliable
 // failures until success or purge. It reports false when the proxy was
 // stopped.
@@ -295,6 +326,9 @@ func (p *Proxy) deliverOne(e *event.Event) bool {
 		ptype   wire.PacketType
 		payload []byte
 	)
+	if p.cloneOut {
+		e = e.Clone() // device mutates events; shed the shared copy
+	}
 	raw, ok, err := p.dev.TranslateOut(e)
 	switch {
 	case err != nil:
@@ -307,7 +341,13 @@ func (p *Proxy) deliverOne(e *event.Event) bool {
 		p.stats.TranslatedOut++
 		p.mu.Unlock()
 	default:
-		ptype, payload = wire.PktEvent, wire.EncodeEvent(e)
+		bp := encBufPool.Get().(*[]byte)
+		payload = wire.AppendEvent((*bp)[:0], e)
+		defer func() {
+			*bp = payload[:0]
+			encBufPool.Put(bp)
+		}()
+		ptype = wire.PktEvent
 	}
 
 	for {

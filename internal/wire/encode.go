@@ -126,7 +126,7 @@ func AppendValue(dst []byte, v event.Value) []byte {
 			dst = append(dst, 0)
 		}
 	case event.TypeBytes:
-		b, _ := v.Bytes()
+		b, _ := v.BytesRef() // read-only: appended, never retained
 		dst = appendBytes(dst, b)
 	}
 	return dst

@@ -1,0 +1,45 @@
+package wire
+
+import "github.com/amuse/smc/internal/event"
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// ValueSize returns len(AppendValue(nil, v)) without encoding: the type
+// byte plus the payload.
+func ValueSize(v event.Value) int {
+	switch v.Type() {
+	case event.TypeInt, event.TypeFloat:
+		return 1 + 8
+	case event.TypeString:
+		s, _ := v.Str()
+		return 1 + uvarintLen(uint64(len(s))) + len(s)
+	case event.TypeBool:
+		return 1 + 1
+	case event.TypeBytes:
+		b, _ := v.BytesRef()
+		return 1 + uvarintLen(uint64(len(b))) + len(b)
+	default:
+		return 1
+	}
+}
+
+// EventSize returns len(EncodeEvent(e)) without allocating or encoding,
+// so the bus's cost model can charge per-byte processing without paying
+// for a throwaway encode of every published event.
+func EventSize(e *event.Event) int {
+	// Sender (8) + seq (8) + stamp (8) + attribute count (2).
+	n := 26
+	e.RangeAny(func(name string, v event.Value) bool {
+		n += uvarintLen(uint64(len(name))) + len(name) + ValueSize(v)
+		return true
+	})
+	return n
+}
