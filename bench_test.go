@@ -119,6 +119,35 @@ func BenchmarkFig4bThroughputSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkReliableWindowE2E sweeps the reliable channel's sliding
+// window through the full member path — publisher enqueue → bus →
+// proxy → remote deliver — on the calibrated USB link with the cost
+// model off. Window=1 is the seed's stop-and-wait on every hop;
+// larger windows let both the publish hop and the proxy's pipelined
+// delivery hop fill the link. BENCH_PR2.json records the series.
+func BenchmarkReliableWindowE2E(b *testing.B) {
+	for _, window := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			env, err := bench.NewEnv(bench.FastRaw, bench.EnvConfig{
+				Link: netsim.USBLink, Subscribers: 1, Window: window,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			var eps float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eps, err = env.StreamAsync(250, 200, 2*window, 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(eps, "events/sec")
+		})
+	}
+}
+
 // BenchmarkLinkBaseline measures the raw simulated link with no bus in
 // the path — the §V in-text calibration (≈575 KB/s, ≈1.5 ms).
 func BenchmarkLinkBaseline(b *testing.B) {

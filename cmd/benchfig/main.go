@@ -10,11 +10,21 @@
 //	benchfig -fig quench      # ablation: quenching savings
 //	benchfig -fig redelivery  # ablation: disconnect/redeliver cycle
 //	benchfig -fig all -full   # everything, figure-quality sweeps
+//
+// It doubles as the CI benchmark regression gate: feed it the text
+// output of `go test -bench` and a committed baseline, and it fails
+// (exit 1) when a gated metric regresses beyond the tolerance or a
+// required ratio (e.g. windowed ≥2× stop-and-wait) is not met:
+//
+//	go test -run '^$' -bench ... | tee bench.txt
+//	benchfig -gate bench.txt -baseline BENCH_PR2.json -gate-out bench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/amuse/smc/internal/bench"
@@ -22,14 +32,62 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate: 4a, 4b, link, fanout, quench, redelivery, all")
-		full = flag.Bool("full", false, "figure-quality sweep (slower); default is a quick sweep")
+		fig      = flag.String("fig", "all", "figure to regenerate: 4a, 4b, link, fanout, quench, redelivery, all")
+		full     = flag.Bool("full", false, "figure-quality sweep (slower); default is a quick sweep")
+		gate     = flag.String("gate", "", "gate mode: path to `go test -bench` output (\"-\" for stdin)")
+		baseline = flag.String("baseline", "BENCH_PR2.json", "gate mode: committed baseline JSON with a \"gate\" section")
+		gateOut  = flag.String("gate-out", "", "gate mode: write the machine-readable report JSON here")
 	)
 	flag.Parse()
+	if *gate != "" {
+		if err := runGate(*gate, *baseline, *gateOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, *full); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
+}
+
+func runGate(benchPath, baselinePath, outPath string) error {
+	var in io.Reader = os.Stdin
+	if benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := bench.ParseGoBench(in)
+	if err != nil {
+		return fmt.Errorf("parse bench output: %w", err)
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark results in %s", benchPath)
+	}
+	spec, err := bench.LoadGateSpec(baselinePath)
+	if err != nil {
+		return err
+	}
+	rep := bench.RunGate(measured, spec)
+	rep.Fprint(os.Stdout)
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.Pass {
+		return fmt.Errorf("benchmark gate failed")
+	}
+	return nil
 }
 
 func run(fig string, full bool) error {

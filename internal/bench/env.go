@@ -24,12 +24,13 @@ const (
 )
 
 // relConfig is tuned for the simulated wireless profiles: short
-// retries, generous budget.
-func relConfig() reliable.Config {
+// retries, generous budget. window ≤ 0 keeps the reliable default.
+func relConfig(window int) reliable.Config {
 	return reliable.Config{
 		RetryTimeout:    60 * time.Millisecond,
 		MaxRetryTimeout: 400 * time.Millisecond,
 		MaxRetries:      12,
+		Window:          window,
 		QueueDepth:      8192,
 	}
 }
@@ -55,6 +56,10 @@ type EnvConfig struct {
 	// Shards overrides the bus pipeline shard count (0 = bus default,
 	// GOMAXPROCS).
 	Shards int
+	// Window overrides the reliable channel's sliding window on every
+	// hop (0 = reliable default; 1 = stop-and-wait). The window-sweep
+	// benchmarks use it to measure the ARQ pipelining gain end to end.
+	Window int
 	// SubscribeAll: when false, subscribers are members but install
 	// no filters (the quench workload).
 	NoSubscriptions bool
@@ -87,7 +92,7 @@ func NewEnv(flavor Flavor, cfg EnvConfig) (*Env, error) {
 	if cfg.Shards > 0 {
 		opts = append(opts, bus.WithShards(cfg.Shards))
 	}
-	b := bus.New(reliable.New(busTr, relConfig()), m, bootstrap.NewRegistry(), opts...)
+	b := bus.New(reliable.New(busTr, relConfig(cfg.Window)), m, bootstrap.NewRegistry(), opts...)
 	b.Start()
 
 	env := &Env{Flavor: flavor, Net: net, Bus: b}
@@ -100,7 +105,7 @@ func NewEnv(flavor Flavor, cfg EnvConfig) (*Env, error) {
 		if err := b.AddMember(ident.New(addr), "generic", name); err != nil {
 			return nil, err
 		}
-		return client.New(reliable.New(tr, relConfig()), b.ID()), nil
+		return client.New(reliable.New(tr, relConfig(cfg.Window)), b.ID()), nil
 	}
 
 	env.Pub, err = mkClient(0x1, "publisher")
@@ -139,6 +144,53 @@ func (e *Env) Close() {
 	if e.Net != nil {
 		e.Net.Close()
 	}
+}
+
+// StreamAsync pushes count events through the pipelined publish path
+// (client.PublishAsync, up to inflight outstanding) and waits until
+// the first subscriber has received them all, returning events/sec
+// end to end: member enqueue → remote deliver.
+func (e *Env) StreamAsync(payload, count, inflight int, timeout time.Duration) (float64, error) {
+	if inflight <= 0 {
+		inflight = 4
+	}
+	sub := e.Subs[0]
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		var pending []*reliable.Completion
+		for i := 0; i < count; i++ {
+			comp, err := e.Pub.PublishAsync(benchEvent(payload))
+			if err != nil {
+				errc <- fmt.Errorf("publish %d: %w", i, err)
+				return
+			}
+			pending = append(pending, comp)
+			if len(pending) >= inflight {
+				if err := pending[0].Wait(); err != nil {
+					errc <- fmt.Errorf("ack %d: %w", i, err)
+					return
+				}
+				pending = pending[1:]
+			}
+		}
+		for _, c := range pending {
+			if err := c.Wait(); err != nil {
+				errc <- fmt.Errorf("drain ack: %w", err)
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for recvd := 0; recvd < count; recvd++ {
+		if _, err := sub.NextEvent(timeout); err != nil {
+			return 0, fmt.Errorf("receive %d: %w", recvd, err)
+		}
+	}
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return float64(count) / time.Since(start).Seconds(), nil
 }
 
 // benchEvent builds a bench event with an opaque payload of n bytes.

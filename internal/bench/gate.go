@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the CI benchmark regression gate: it parses standard
+// `go test -bench` output, compares the measured numbers against the
+// baselines committed in BENCH_PR*.json, and emits a machine-readable
+// report (bench.json in CI). Two check kinds exist:
+//
+//   - benchmarks: a metric may not regress more than Tolerance below
+//     its committed baseline (machine-dependent — the tolerance
+//     absorbs runner variance);
+//   - ratios: one measurement divided by another must stay above Min
+//     (machine-independent — e.g. the windowed channel must stay ≥2×
+//     faster than stop-and-wait regardless of the runner).
+
+// Measurement is one parsed benchmark result line.
+type Measurement struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"` // unit → value, incl. "ns/op"
+}
+
+// ParseGoBench parses `go test -bench` text output. Benchmark names
+// are normalised by stripping the trailing -GOMAXPROCS suffix. When a
+// benchmark appears multiple times (e.g. -count > 1) the best (lowest
+// ns/op) run wins.
+func ParseGoBench(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		m := Measurement{Name: name, Iters: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			m.Metrics[fields[i+1]] = v
+		}
+		if len(m.Metrics) == 0 {
+			continue
+		}
+		if prev, dup := out[name]; dup {
+			if prevNs, ok := prev.Metrics["ns/op"]; ok {
+				if ns, ok2 := m.Metrics["ns/op"]; !ok2 || ns >= prevNs {
+					continue
+				}
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// GateBench pins one benchmark metric to a committed baseline.
+type GateBench struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"` // e.g. "events/sec", "rt/s", "ns/op"
+	Baseline float64 `json:"baseline"`
+}
+
+// GateRatio pins the ratio of two measurements to a minimum.
+type GateRatio struct {
+	Name   string  `json:"name"`
+	Num    string  `json:"num"`
+	Den    string  `json:"den"`
+	Metric string  `json:"metric"`
+	Min    float64 `json:"min"`
+}
+
+// GateSpec is the "gate" section of a committed BENCH_PR*.json.
+type GateSpec struct {
+	// Tolerance is the allowed fractional regression against each
+	// baseline (0.2 = fail when below 80% of baseline).
+	Tolerance  float64     `json:"tolerance"`
+	Benchmarks []GateBench `json:"benchmarks"`
+	Ratios     []GateRatio `json:"ratios"`
+}
+
+// LoadGateSpec reads the "gate" section from a baseline JSON file.
+func LoadGateSpec(path string) (GateSpec, error) {
+	var wrapper struct {
+		Gate GateSpec `json:"gate"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return GateSpec{}, err
+	}
+	if err := json.Unmarshal(data, &wrapper); err != nil {
+		return GateSpec{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(wrapper.Gate.Benchmarks) == 0 && len(wrapper.Gate.Ratios) == 0 {
+		return GateSpec{}, fmt.Errorf("%s: no gate section", path)
+	}
+	return wrapper.Gate, nil
+}
+
+// Check is one gate verdict.
+type Check struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"` // "baseline" or "ratio"
+	Metric   string  `json:"metric"`
+	Measured float64 `json:"measured"`
+	Limit    float64 `json:"limit"` // minimum acceptable value
+	Pass     bool    `json:"pass"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// GateReport is the gate's machine-readable output (bench.json).
+type GateReport struct {
+	Pass         bool                   `json:"pass"`
+	Checks       []Check                `json:"checks"`
+	Measurements map[string]Measurement `json:"measurements"`
+}
+
+// lowerIsBetter metrics regress upwards.
+func lowerIsBetter(metric string) bool {
+	switch metric {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return false
+}
+
+// RunGate evaluates the spec against parsed measurements.
+func RunGate(measured map[string]Measurement, spec GateSpec) GateReport {
+	rep := GateReport{Pass: true, Measurements: measured}
+	tol := spec.Tolerance
+	if tol <= 0 {
+		tol = 0.2
+	}
+	lookup := func(name, metric string) (float64, string) {
+		m, ok := measured[name]
+		if !ok {
+			return 0, fmt.Sprintf("benchmark %q not found in the run", name)
+		}
+		v, ok := m.Metrics[metric]
+		if !ok {
+			return 0, fmt.Sprintf("benchmark %q has no %q metric", name, metric)
+		}
+		return v, ""
+	}
+	for _, gb := range spec.Benchmarks {
+		c := Check{Name: gb.Name, Kind: "baseline", Metric: gb.Metric}
+		v, miss := lookup(gb.Name, gb.Metric)
+		if miss != "" {
+			c.Detail = miss
+			rep.Pass = false
+			rep.Checks = append(rep.Checks, c)
+			continue
+		}
+		c.Measured = v
+		if lowerIsBetter(gb.Metric) {
+			c.Limit = gb.Baseline * (1 + tol)
+			c.Pass = v <= c.Limit
+			c.Detail = fmt.Sprintf("measured %.4g, baseline %.4g, allowed max %.4g", v, gb.Baseline, c.Limit)
+		} else {
+			c.Limit = gb.Baseline * (1 - tol)
+			c.Pass = v >= c.Limit
+			c.Detail = fmt.Sprintf("measured %.4g, baseline %.4g, allowed min %.4g", v, gb.Baseline, c.Limit)
+		}
+		if !c.Pass {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	for _, gr := range spec.Ratios {
+		c := Check{Name: gr.Name, Kind: "ratio", Metric: gr.Metric, Limit: gr.Min}
+		num, missN := lookup(gr.Num, gr.Metric)
+		den, missD := lookup(gr.Den, gr.Metric)
+		switch {
+		case missN != "":
+			c.Detail = missN
+		case missD != "":
+			c.Detail = missD
+		case den == 0:
+			c.Detail = fmt.Sprintf("denominator %q is zero", gr.Den)
+		default:
+			c.Measured = num / den
+			c.Pass = c.Measured >= gr.Min
+			c.Detail = fmt.Sprintf("%s / %s = %.3g, required ≥ %.3g", gr.Num, gr.Den, c.Measured, gr.Min)
+		}
+		if !c.Pass {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}
+
+// Fprint renders the report for humans.
+func (r GateReport) Fprint(w io.Writer) {
+	for _, c := range r.Checks {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%s  [%s] %s (%s): %s\n", verdict, c.Kind, c.Name, c.Metric, c.Detail)
+	}
+	names := make([]string, 0, len(r.Measurements))
+	for n := range r.Measurements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%d checks over %d measurements\n", len(r.Checks), len(names))
+}

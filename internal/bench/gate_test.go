@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/amuse/smc/internal/bus
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBusHotPath/delivery=local/fanout=8/shards=1-4     851342   1331 ns/op   751152 events/sec   736 B/op   3 allocs/op
+BenchmarkReliableWindow/window=1-4       349   3396384 ns/op   294.4 rt/s   798 B/op   14 allocs/op
+BenchmarkReliableWindow/window=16-4     2954    353132 ns/op   2832 rt/s    837 B/op   12 allocs/op
+PASS
+ok   github.com/amuse/smc/internal/bus 12.1s
+`
+
+func TestParseGoBench(t *testing.T) {
+	ms, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, ok := ms["BenchmarkBusHotPath/delivery=local/fanout=8/shards=1"]
+	if !ok {
+		t.Fatalf("hot path missing (cpu suffix not stripped?): %v", ms)
+	}
+	if hot.Metrics["events/sec"] != 751152 || hot.Metrics["ns/op"] != 1331 {
+		t.Errorf("hot path metrics = %v", hot.Metrics)
+	}
+	if w1 := ms["BenchmarkReliableWindow/window=1"]; w1.Metrics["rt/s"] != 294.4 {
+		t.Errorf("window=1 rt/s = %v", w1.Metrics)
+	}
+	if len(ms) != 3 {
+		t.Errorf("parsed %d measurements, want 3", len(ms))
+	}
+}
+
+func TestRunGateBaselineAndRatio(t *testing.T) {
+	ms, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := GateSpec{
+		Tolerance: 0.2,
+		Benchmarks: []GateBench{
+			{Name: "BenchmarkBusHotPath/delivery=local/fanout=8/shards=1", Metric: "events/sec", Baseline: 700000},
+		},
+		Ratios: []GateRatio{
+			{Name: "window pipelining", Num: "BenchmarkReliableWindow/window=16",
+				Den: "BenchmarkReliableWindow/window=1", Metric: "rt/s", Min: 2.0},
+		},
+	}
+	rep := RunGate(ms, spec)
+	if !rep.Pass {
+		t.Fatalf("gate failed: %+v", rep.Checks)
+	}
+
+	// A >20% regression must fail.
+	spec.Benchmarks[0].Baseline = 751152 / 0.7 // measured is ~70% of this
+	rep = RunGate(ms, spec)
+	if rep.Pass {
+		t.Fatal("regression not caught")
+	}
+
+	// A missing benchmark must fail loudly, not silently pass.
+	spec.Benchmarks[0].Baseline = 700000
+	spec.Benchmarks = append(spec.Benchmarks, GateBench{Name: "BenchmarkNope", Metric: "ns/op", Baseline: 1})
+	if rep = RunGate(ms, spec); rep.Pass {
+		t.Fatal("missing benchmark not caught")
+	}
+}
+
+func TestRunGateLowerIsBetter(t *testing.T) {
+	ms := map[string]Measurement{
+		"B/x": {Name: "B/x", Metrics: map[string]float64{"allocs/op": 3}},
+	}
+	spec := GateSpec{Tolerance: 0.2, Benchmarks: []GateBench{
+		{Name: "B/x", Metric: "allocs/op", Baseline: 3},
+	}}
+	if rep := RunGate(ms, spec); !rep.Pass {
+		t.Fatalf("equal allocs failed: %+v", rep.Checks)
+	}
+	ms["B/x"].Metrics["allocs/op"] = 5
+	if rep := RunGate(ms, spec); rep.Pass {
+		t.Fatal("alloc regression not caught")
+	}
+}
+
+func TestLoadGateSpecFromBaselineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	content := `{
+  "pr": 2,
+  "gate": {
+    "tolerance": 0.2,
+    "benchmarks": [{"name": "B/x", "metric": "events/sec", "baseline": 100}],
+    "ratios": [{"name": "r", "num": "B/y", "den": "B/x", "metric": "events/sec", "min": 2}]
+  }
+}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadGateSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Tolerance != 0.2 || len(spec.Benchmarks) != 1 || len(spec.Ratios) != 1 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if _, err := LoadGateSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"pr": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGateSpec(empty); err == nil {
+		t.Error("baseline without gate section accepted")
+	}
+}

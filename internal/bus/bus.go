@@ -83,16 +83,16 @@ func (c Cost) enabled() bool {
 
 // Stats counts bus activity.
 type Stats struct {
-	Published       uint64
-	Matched         uint64
-	NoMatch         uint64
-	DeliveredLocal  uint64
-	EnqueuedRemote  uint64
-	Quenches        uint64
-	Unquenches      uint64
-	AuthDenied      uint64
-	NonMember       uint64
-	BadPackets      uint64
+	Published      uint64
+	Matched        uint64
+	NoMatch        uint64
+	DeliveredLocal uint64
+	EnqueuedRemote uint64
+	Quenches       uint64
+	Unquenches     uint64
+	AuthDenied     uint64
+	NonMember      uint64
+	BadPackets     uint64
 	// Dropped counts publishes shed because the processing queue was
 	// full (ErrBusy) — overload, as distinct from the corruption
 	// BadPackets counts.

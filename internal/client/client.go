@@ -87,27 +87,40 @@ func (c *Client) Quenched() bool { return c.quenched.Load() }
 // acknowledged it (synchronous call semantics, Fig. 3). While quenched
 // it suppresses the send and returns ErrQuenched.
 func (c *Client) Publish(e *event.Event) error {
+	comp, err := c.PublishAsync(e)
+	if err != nil {
+		return err
+	}
+	return comp.Wait()
+}
+
+// PublishAsync enqueues an event towards the bus and returns a
+// completion that resolves when the bus acknowledges it — the
+// pipelined counterpart of Publish, letting a publisher keep up to
+// the reliable channel's window in flight instead of paying one round
+// trip per event. Events published this way are still delivered to
+// the bus in publish order. While quenched the send is suppressed and
+// ErrQuenched returned immediately.
+func (c *Client) PublishAsync(e *event.Event) (*reliable.Completion, error) {
 	if c.quenched.Load() {
 		c.mu.Lock()
 		c.stats.QuenchSuppressed++
 		c.mu.Unlock()
-		return ErrQuenched
+		return nil, ErrQuenched
 	}
 	if err := e.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	if e.Stamp.IsZero() {
 		e.Stamp = time.Now()
 	}
 	e.Sender = c.ch.LocalID()
 	e.Seq = c.pubSeq.Add(1)
-	if err := c.ch.Send(c.bus, wire.PktEvent, wire.EncodeEvent(e)); err != nil {
-		return err
-	}
+	comp := c.ch.SendAsync(c.bus, wire.PktEvent, wire.EncodeEvent(e))
 	c.mu.Lock()
-	c.stats.Published++
+	c.stats.Published++ // counted at enqueue; failures surface via comp
 	c.mu.Unlock()
-	return nil
+	return comp, nil
 }
 
 // PublishRaw sends raw device bytes for the member's proxy to translate

@@ -270,3 +270,57 @@ func TestClientCloseIdempotentAndUnblocks(t *testing.T) {
 		t.Error("publish after close")
 	}
 }
+
+func TestPublishAsyncPipelinesInOrder(t *testing.T) {
+	r := newRig(t)
+	pub := r.client(t, 1, "generic", "pub")
+	sub := r.client(t, 2, "generic", "sub")
+	if err := sub.Subscribe(event.NewFilter().WhereType("tick")); err != nil {
+		t.Fatal(err)
+	}
+
+	const count = 20
+	comps := make([]*reliable.Completion, 0, count)
+	for i := 1; i <= count; i++ {
+		comp, err := pub.PublishAsync(event.NewTyped("tick").SetInt("n", int64(i)))
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		comps = append(comps, comp)
+	}
+	for i, comp := range comps {
+		if err := comp.Wait(); err != nil {
+			t.Fatalf("completion %d: %v", i, err)
+		}
+	}
+	for want := int64(1); want <= count; want++ {
+		e, err := sub.NextEvent(5 * time.Second)
+		if err != nil {
+			t.Fatalf("waiting for tick %d: %v", want, err)
+		}
+		v, _ := e.Get("n")
+		n, _ := v.Int()
+		if n != want {
+			t.Fatalf("tick %d arrived, want %d (order violated)", n, want)
+		}
+	}
+	if st := pub.Stats(); st.Published != count {
+		t.Errorf("published = %d, want %d", st.Published, count)
+	}
+}
+
+func TestPublishAsyncQuenched(t *testing.T) {
+	r := newRig(t, bus.WithQuench(true))
+	pub := r.client(t, 1, "generic", "pub")
+	// No subscriber matches: the first publish provokes a quench.
+	if _, err := pub.PublishAsync(event.NewTyped("lonely")); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !pub.Quenched() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := pub.PublishAsync(event.NewTyped("lonely")); !errors.Is(err, client.ErrQuenched) {
+		t.Errorf("quenched publish err = %v", err)
+	}
+}

@@ -37,6 +37,7 @@ type Stats struct {
 	Delivered  uint64
 	Dropped    uint64
 	Duplicated uint64
+	Reordered  uint64
 	Blocked    uint64
 	BytesSent  uint64
 }
@@ -224,6 +225,10 @@ func (n *Network) sendOneLocked(from, to ident.ID, data []byte) {
 		return
 	}
 	delay := n.linkDelayLocked(key, p, len(data))
+	if p.Reorder > 0 && n.rng.Float64() < p.Reorder {
+		n.stats.Reordered++
+		delay += n.scaled(p.reorderBy())
+	}
 	n.scheduleLocked(from, to, data, delay)
 	if p.Duplicate > 0 && n.rng.Float64() < p.Duplicate {
 		n.stats.Duplicated++

@@ -320,3 +320,54 @@ func TestUSBLinkProfileCalibration(t *testing.T) {
 		t.Errorf("USB bandwidth = %d", USBLink.Bandwidth)
 	}
 }
+
+func TestReorderProfileShufflesDelivery(t *testing.T) {
+	p := Profile{Name: "reorder", Reorder: 0.5, ReorderBy: 5 * time.Millisecond}
+	n := New(p, WithSeed(42))
+	defer n.Close()
+	src, err := n.Attach(ident.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := n.Attach(ident.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 40
+	for i := 0; i < count; i++ {
+		if err := src.Send(dst.LocalID(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []byte
+	for i := 0; i < count; i++ {
+		dg, err := dst.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		order = append(order, dg.Data[0])
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Errorf("no reordering observed at Reorder=0.5: %v", order)
+	}
+	if st := n.Stats(); st.Reordered == 0 {
+		t.Errorf("stats.Reordered = 0, want > 0 (stats %+v)", st)
+	}
+}
+
+func TestReorderDefaultDelay(t *testing.T) {
+	p := Profile{Latency: 3 * time.Millisecond}
+	if got := p.reorderBy(); got != 8*time.Millisecond {
+		t.Errorf("default reorderBy = %v, want 8ms", got)
+	}
+	p.ReorderBy = time.Millisecond
+	if got := p.reorderBy(); got != time.Millisecond {
+		t.Errorf("explicit reorderBy = %v", got)
+	}
+}

@@ -28,6 +28,13 @@ type Profile struct {
 	Loss float64
 	// Duplicate is the probability a datagram is delivered twice.
 	Duplicate float64
+	// Reorder is the probability a datagram is held back by an extra
+	// ReorderBy delay, letting later datagrams overtake it — the
+	// multipath/queueing reordering real radio links exhibit.
+	Reorder float64
+	// ReorderBy is the extra delay applied to reordered datagrams;
+	// 0 means 2×Latency + 2 ms.
+	ReorderBy time.Duration
 	// MTU bounds datagram size; 0 means the default (60 KiB).
 	MTU int
 }
@@ -84,6 +91,28 @@ var (
 // used by property tests of the reliability layer.
 func Lossy(p float64) Profile {
 	return Profile{Name: "lossy", Loss: p}
+}
+
+// Torture is the reliability layer's worst-case test profile: loss,
+// duplication and heavy reordering on a link with real latency, so
+// sliding-window retransmission, dedup and the receiver's reorder
+// buffer are all exercised at once.
+var Torture = Profile{
+	Name:      "torture",
+	Latency:   300 * time.Microsecond,
+	Jitter:    200 * time.Microsecond,
+	Loss:      0.2,
+	Duplicate: 0.2,
+	Reorder:   0.3,
+	ReorderBy: 3 * time.Millisecond,
+}
+
+// reorderBy returns the effective extra delay for reordered datagrams.
+func (p Profile) reorderBy() time.Duration {
+	if p.ReorderBy > 0 {
+		return p.ReorderBy
+	}
+	return 2*p.Latency + 2*time.Millisecond
 }
 
 // mtu returns the effective MTU.

@@ -33,10 +33,22 @@ import (
 // Implementations must not retain payload after Send returns: the
 // proxy recycles encode buffers through a pool, so a Sender that
 // queues the slice for asynchronous transmission must copy it first
-// (the in-repo reliable.Channel marshals into its own buffer and
-// blocks until acknowledgement, satisfying this trivially).
+// (the in-repo reliable.Channel marshals into its own buffer before
+// Send/SendAsync return, satisfying this trivially).
 type Sender interface {
 	Send(dst ident.ID, ptype wire.PacketType, payload []byte) error
+}
+
+// AsyncSender is implemented by senders that can pipeline: SendAsync
+// enqueues the packet (copying the payload before returning) and
+// resolves the completion when it is acknowledged or fails. A proxy
+// whose sender implements AsyncSender keeps up to Config.Pipeline
+// deliveries in flight instead of waiting out one network round trip
+// per queued event — the member-enqueue half of the sliding-window
+// pipeline. reliable.Channel is the canonical implementation.
+type AsyncSender interface {
+	Sender
+	SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte) *reliable.Completion
 }
 
 // Publisher lets a proxy inject translated device data into the bus.
@@ -110,6 +122,8 @@ func (g *GenericDevice) InitialSubscriptions() []*event.Filter { return nil }
 type Config struct {
 	// QueueCap bounds the outbound queue (bounded memory on the
 	// target platform); enqueueing beyond it drops the oldest event.
+	// With a pipelining sender up to Pipeline further events are in
+	// flight outside this queue, so total buffering is QueueCap+Pipeline.
 	QueueCap int
 	// RedeliveryInterval is the pause between delivery attempts after
 	// the reliable layer gave up, while the member is still in the
@@ -117,6 +131,10 @@ type Config struct {
 	// to services which are unavailable, but have not yet been
 	// declared to have left the SMC").
 	RedeliveryInterval time.Duration
+	// Pipeline bounds how many deliveries the proxy keeps in flight
+	// when its sender implements AsyncSender (default 8). Pipeline=1
+	// forces the sequential one-at-a-time loop.
+	Pipeline int
 }
 
 // DefaultConfig returns the default proxy tuning.
@@ -124,6 +142,7 @@ func DefaultConfig() Config {
 	return Config{
 		QueueCap:           512,
 		RedeliveryInterval: 250 * time.Millisecond,
+		Pipeline:           8,
 	}
 }
 
@@ -168,6 +187,9 @@ func New(member ident.ID, dev Device, sender Sender, pub Publisher, cfg Config) 
 	if cfg.RedeliveryInterval <= 0 {
 		cfg.RedeliveryInterval = DefaultConfig().RedeliveryInterval
 	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = DefaultConfig().Pipeline
+	}
 	p := &Proxy{
 		member: member,
 		dev:    dev,
@@ -195,8 +217,13 @@ func (p *Proxy) InitialSubscriptions() []*event.Filter {
 	return p.dev.InitialSubscriptions()
 }
 
-// Start launches the delivery worker.
+// Start launches the delivery worker. Senders that can pipeline get
+// the windowed delivery loop; plain Senders keep the sequential one.
 func (p *Proxy) Start() {
+	if as, ok := p.sender.(AsyncSender); ok && p.cfg.Pipeline > 1 {
+		go p.deliverLoopAsync(as)
+		return
+	}
 	go p.deliverLoop()
 }
 
@@ -371,6 +398,154 @@ func (p *Proxy) deliverOne(e *event.Event) bool {
 			timer.Stop()
 			return false
 		case <-timer.C:
+		}
+	}
+}
+
+// outItem is one translated event in the pipelined delivery loop. The
+// encoded payload is retained until the send is acknowledged so that a
+// redelivery after reliable give-up re-sends byte-identical payload —
+// which lets the channel resume the original sequence number and the
+// receiver suppress the duplicate if the first copy did arrive.
+type outItem struct {
+	ptype   wire.PacketType
+	payload []byte
+	bufp    *[]byte // pooled event-encode buffer; nil for device-native data
+	comp    *reliable.Completion
+}
+
+func (p *Proxy) releaseItem(it outItem) {
+	if it.bufp != nil {
+		*it.bufp = (*it.bufp)[:0]
+		encBufPool.Put(it.bufp)
+	}
+}
+
+// translateOut converts one queued event into its wire form. ok=false
+// means the event is dropped (device-specific translation failure).
+func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
+	if p.cloneOut {
+		e = e.Clone() // device mutates events; shed the shared copy
+	}
+	raw, ok, err := p.dev.TranslateOut(e)
+	switch {
+	case err != nil:
+		return outItem{}, false
+	case ok:
+		p.mu.Lock()
+		p.stats.TranslatedOut++
+		p.mu.Unlock()
+		return outItem{ptype: wire.PktData, payload: raw}, true
+	default:
+		bp := encBufPool.Get().(*[]byte)
+		payload := wire.AppendEvent((*bp)[:0], e)
+		*bp = payload
+		return outItem{ptype: wire.PktEvent, payload: payload, bufp: bp}, true
+	}
+}
+
+// deliverLoopAsync is the windowed delivery worker: it keeps up to
+// Config.Pipeline sends in flight on the reliable channel and resolves
+// them in FIFO order. When the channel gives up on the member the
+// whole outstanding tail fails together (cumulative acks: a later
+// packet cannot be acknowledged without its predecessors), so the
+// failed items are re-sent in order after the redelivery pause —
+// byte-identical, see outItem.
+func (p *Proxy) deliverLoopAsync(as AsyncSender) {
+	defer close(p.done)
+	var inflight []outItem // sent, awaiting acknowledgement (FIFO)
+	var retry []outItem    // failed, to re-send before new queue work
+	releaseAll := func() {
+		for _, it := range inflight {
+			p.releaseItem(it)
+		}
+		for _, it := range retry {
+			p.releaseItem(it)
+		}
+	}
+	for {
+		for len(inflight) < p.cfg.Pipeline {
+			var it outItem
+			if len(retry) > 0 {
+				it = retry[0]
+				retry = retry[1:]
+				p.mu.Lock()
+				p.stats.Redeliveries++
+				p.mu.Unlock()
+			} else {
+				e, ok := p.next()
+				if !ok {
+					break
+				}
+				it, ok = p.translateOut(e)
+				if !ok {
+					continue
+				}
+			}
+			it.comp = as.SendAsync(p.member, it.ptype, it.payload)
+			inflight = append(inflight, it)
+		}
+		if len(inflight) == 0 {
+			select {
+			case <-p.wake:
+				continue
+			case <-p.stop:
+				releaseAll()
+				return
+			}
+		}
+		select {
+		case <-inflight[0].comp.Done():
+		case <-p.wake:
+			continue // new work arrived: top the pipeline up
+		case <-p.stop:
+			releaseAll()
+			return
+		}
+		head := inflight[0]
+		err := head.comp.Err()
+		switch {
+		case err == nil:
+			p.mu.Lock()
+			p.stats.Delivered++
+			p.mu.Unlock()
+			p.releaseItem(head)
+			inflight = inflight[1:]
+		case errors.Is(err, reliable.ErrClosed):
+			releaseAll()
+			return
+		default:
+			// Give-up: collect the whole outstanding tail. Items can
+			// only fail as a suffix, so everything resolved here is
+			// either already delivered or queued for redelivery.
+			var failed []outItem
+			for i, it := range inflight {
+				select {
+				case <-it.comp.Done():
+				case <-p.stop:
+					inflight = inflight[i:] // not yet released
+					releaseAll()
+					return
+				}
+				if it.comp.Err() == nil {
+					p.mu.Lock()
+					p.stats.Delivered++
+					p.mu.Unlock()
+					p.releaseItem(it)
+					continue
+				}
+				failed = append(failed, it)
+			}
+			inflight = nil
+			retry = append(failed, retry...)
+			timer := time.NewTimer(p.cfg.RedeliveryInterval)
+			select {
+			case <-p.stop:
+				timer.Stop()
+				releaseAll()
+				return
+			case <-timer.C:
+			}
 		}
 	}
 }

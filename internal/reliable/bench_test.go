@@ -1,0 +1,124 @@
+package reliable
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// benchLossy is the netsim lossy profile the window benchmark runs
+// over: real latency so round trips cost something, loss so the
+// retransmission machinery is in the measured path.
+var benchLossy = netsim.Profile{
+	Name:    "bench-lossy",
+	Latency: 500 * time.Microsecond,
+	Jitter:  200 * time.Microsecond,
+	Loss:    0.05,
+}
+
+func benchCfg(window int) Config {
+	return Config{
+		RetryTimeout:    10 * time.Millisecond,
+		MaxRetryTimeout: 80 * time.Millisecond,
+		MaxRetries:      40,
+		Window:          window,
+		QueueDepth:      8192,
+		MaxPending:      8192,
+	}
+}
+
+// BenchmarkReliableWindow measures acknowledged round-trips per second
+// through one destination at each window size on the lossy profile.
+// Window=1 is the seed's stop-and-wait; the ≥2× gain at Window=16 is
+// PR 2's acceptance criterion (see BENCH_PR2.json).
+func BenchmarkReliableWindow(b *testing.B) {
+	for _, window := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			n := netsim.New(benchLossy, netsim.WithSeed(17))
+			defer n.Close()
+			ta, err := n.Attach(ident.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tb, err := n.Attach(ident.New(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, recv := New(ta, benchCfg(window)), New(tb, benchCfg(window))
+			defer a.Close()
+			defer recv.Close()
+			go func() {
+				for {
+					if _, err := recv.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+
+			payload := []byte("reliable-window-benchmark-payload")
+			b.ReportAllocs()
+			b.ResetTimer()
+			var pending []*Completion
+			for i := 0; i < b.N; i++ {
+				pending = append(pending, a.SendAsync(tb.LocalID(), wire.PktEvent, payload))
+				if len(pending) >= window {
+					if err := pending[0].Wait(); err != nil {
+						b.Fatal(err)
+					}
+					pending = pending[1:]
+				}
+			}
+			for _, c := range pending {
+				if err := c.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/s")
+		})
+	}
+}
+
+// BenchmarkReliableSendAllocs isolates the per-send allocation cost on
+// a perfect link: the seed allocated a waiter channel and a map entry
+// per send plus a marshal buffer per attempt; the windowed pipeline
+// pools the marshal buffers and keeps per-send state in the queue.
+func BenchmarkReliableSendAllocs(b *testing.B) {
+	n := netsim.New(netsim.Perfect, netsim.WithSeed(19))
+	defer n.Close()
+	ta, _ := n.Attach(ident.New(1))
+	tb, _ := n.Attach(ident.New(2))
+	a, recv := New(ta, benchCfg(16)), New(tb, benchCfg(16))
+	defer a.Close()
+	defer recv.Close()
+	go func() {
+		for {
+			if _, err := recv.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	payload := []byte("alloc-benchmark-payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pending []*Completion
+	for i := 0; i < b.N; i++ {
+		pending = append(pending, a.SendAsync(tb.LocalID(), wire.PktEvent, payload))
+		if len(pending) >= 16 {
+			if err := pending[0].Wait(); err != nil {
+				b.Fatal(err)
+			}
+			pending = pending[1:]
+		}
+	}
+	for _, c := range pending {
+		if err := c.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

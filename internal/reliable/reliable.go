@@ -1,23 +1,40 @@
 // Package reliable layers the paper's delivery semantics (§II-C) over
-// an unreliable datagram transport:
+// an unreliable datagram transport with sliding-window ARQ:
 //
-//   - every reliable packet is acknowledged by the receiver; the sender
-//     retransmits with backoff until acked or out of retries (Fig. 3's
-//     synchronous acknowledged calls);
-//   - per-sender FIFO: a sender keeps at most one reliable packet in
-//     flight per destination (stop-and-wait), so packets cannot
-//     overtake one another;
-//   - at-most-once: the receiver suppresses duplicates created by
-//     retransmission using the per-sender sequence number.
+//   - every reliable packet carries a per-destination sequence number
+//     and is retransmitted with backoff until the receiver's
+//     cumulative acknowledgement covers it or the retry budget runs
+//     out (Fig. 3's synchronous acknowledged calls, pipelined);
+//   - a sender keeps at most Config.Window unacknowledged packets in
+//     flight per destination. Window=1 degenerates to the original
+//     stop-and-wait behaviour for §V-faithful measurement;
+//   - per-sender FIFO: the receiver holds out-of-order arrivals in a
+//     bounded reorder buffer and releases packets to Recv strictly in
+//     sequence order, so packets cannot overtake one another;
+//   - at-most-once: duplicates created by retransmission are
+//     suppressed by the cumulative sequence state.
+//
+// Give-up and stream resets. When the retry budget for a destination
+// is exhausted every queued packet fails with ErrGaveUp, but the
+// channel keeps the marshalled packets in a resume stash: a caller
+// that re-sends the same payload (the proxy redelivery loop of §VI
+// does exactly this) resumes the original sequence number, so a
+// packet that had actually been delivered — only its acks were lost —
+// is recognised and suppressed by the receiver instead of delivered
+// twice. If the caller sends a different payload instead, the
+// outbound stream restarts under a new epoch (wire.Packet.Epoch) and
+// the receiver resets its ordering state when the new epoch arrives.
 //
 // Unreliable sends (FlagNoAck) bypass all of this: discovery beacons
 // and heartbeats tolerate loss by design (§II-B).
 package reliable
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/amuse/smc/internal/ident"
@@ -31,30 +48,81 @@ var (
 	ErrGaveUp = errors.New("reliable: gave up after retries")
 	// ErrClosed reports use of a closed channel.
 	ErrClosed = errors.New("reliable: closed")
+	// ErrBacklog reports a per-destination send backlog overflow: the
+	// caller is enqueueing faster than the destination acknowledges.
+	ErrBacklog = errors.New("reliable: send backlog full")
+
+	errBroadcast = errors.New("reliable: broadcast sends must be unreliable")
 )
 
 // Stats counts channel activity.
 type Stats struct {
-	Sent          uint64
-	Acked         uint64
-	Retransmits   uint64
-	Failures      uint64
-	Received      uint64
-	DupsDropped   uint64
-	StaleAcks     uint64
-	UnreliableIn  uint64
-	UnreliableOut uint64
+	Sent            uint64
+	Acked           uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Failures        uint64
+	Resumed         uint64
+	StreamResets    uint64
+	Received        uint64
+	DupsDropped     uint64
+	Buffered        uint64
+	StaleAcks       uint64
+	StaleEpoch      uint64
+	UnreliableIn    uint64
+	UnreliableOut   uint64
+}
+
+// counters is the hot-path representation of Stats.
+type counters struct {
+	sent, acked, retransmits, fastRetransmits atomic.Uint64
+	failures, resumed, streamResets           atomic.Uint64
+	received, dupsDropped, buffered           atomic.Uint64
+	staleAcks, staleEpoch                     atomic.Uint64
+	unreliableIn, unreliableOut               atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Sent:            c.sent.Load(),
+		Acked:           c.acked.Load(),
+		Retransmits:     c.retransmits.Load(),
+		FastRetransmits: c.fastRetransmits.Load(),
+		Failures:        c.failures.Load(),
+		Resumed:         c.resumed.Load(),
+		StreamResets:    c.streamResets.Load(),
+		Received:        c.received.Load(),
+		DupsDropped:     c.dupsDropped.Load(),
+		Buffered:        c.buffered.Load(),
+		StaleAcks:       c.staleAcks.Load(),
+		StaleEpoch:      c.staleEpoch.Load(),
+		UnreliableIn:    c.unreliableIn.Load(),
+		UnreliableOut:   c.unreliableOut.Load(),
+	}
 }
 
 // Config tunes the retransmission machinery.
 type Config struct {
-	// RetryTimeout is the initial ack wait; it doubles per attempt up
-	// to MaxRetryTimeout.
+	// RetryTimeout is the initial ack wait; it doubles per retransmit
+	// round up to MaxRetryTimeout.
 	RetryTimeout time.Duration
 	// MaxRetryTimeout caps the backoff (default 10× RetryTimeout).
 	MaxRetryTimeout time.Duration
-	// MaxRetries bounds retransmissions (total attempts = 1+MaxRetries).
+	// MaxRetries bounds retransmission rounds per destination before
+	// the queued packets fail with ErrGaveUp. Zero means the default
+	// (6); a negative value disables retransmission entirely.
 	MaxRetries int
+	// Window is the maximum number of unacknowledged packets in
+	// flight per destination (default 16). Window=1 reproduces
+	// stop-and-wait.
+	Window int
+	// ReorderDepth bounds the receiver's per-sender reorder buffer
+	// (default 64 packets). Arrivals beyond the buffer are dropped
+	// and recovered by sender retransmission.
+	ReorderDepth int
+	// MaxPending bounds the per-destination send backlog (default
+	// 1024); SendAsync beyond it fails with ErrBacklog.
+	MaxPending int
 	// QueueDepth sizes the inbound delivery queue.
 	QueueDepth int
 }
@@ -64,48 +132,150 @@ func DefaultConfig() Config {
 	return Config{
 		RetryTimeout: 50 * time.Millisecond,
 		MaxRetries:   6,
+		Window:       16,
+		ReorderDepth: 64,
+		MaxPending:   1024,
 		QueueDepth:   1024,
 	}
+}
+
+// Completion is the handle returned by SendAsync. Done is closed when
+// the send is acknowledged or fails; Err is valid only after that.
+type Completion struct {
+	done chan struct{}
+	err  error
+}
+
+// Done returns a channel closed when the send has resolved.
+func (c *Completion) Done() <-chan struct{} { return c.done }
+
+// Err reports the outcome; call it only after Done is closed.
+func (c *Completion) Err() error { return c.err }
+
+// Wait blocks until the send resolves and returns its outcome.
+func (c *Completion) Wait() error {
+	<-c.done
+	return c.err
+}
+
+func newCompletion() *Completion { return &Completion{done: make(chan struct{})} }
+
+func failedCompletion(err error) *Completion {
+	c := newCompletion()
+	c.err = err
+	close(c.done)
+	return c
+}
+
+// pktBufPool recycles marshalled packet buffers across sends and
+// retransmits (retransmissions patch the header in place).
+var pktBufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+func getBuf() *[]byte { return pktBufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	*bp = (*bp)[:0]
+	pktBufPool.Put(bp)
+}
+
+// sendOp is one queued reliable packet.
+type sendOp struct {
+	seq   uint64
+	ptype wire.PacketType
+	flags byte
+	bufp  *[]byte // marshalled packet, pooled
+	comp  *Completion
+}
+
+func (op *sendOp) payload() []byte {
+	b := *op.bufp
+	return b[wire.HeaderLen : len(b)-wire.TrailerLen]
+}
+
+// destState is the per-destination sender state machine.
+type destState struct {
+	id ident.ID
+
+	mu       sync.Mutex
+	epoch    byte
+	nextSeq  uint64
+	queue    []*sendOp // unacked ops in seq order; queue[:inflight] transmitted
+	inflight int
+	stash    []*sendOp // ops failed by give-up, resumable by identical resend
+	attempts int       // retransmit rounds since last ack progress
+	dupAcks  int
+	fastRetx bool
+	deadline time.Time // retransmit deadline while inflight > 0
+	gone     bool      // forgotten or channel closed
+
+	notify chan struct{} // kicks the sender goroutine, cap 1
+}
+
+func (ds *destState) kick() {
+	select {
+	case ds.notify <- struct{}{}:
+	default:
+	}
+}
+
+// recvState is the per-sender receiver ordering state.
+type recvState struct {
+	epoch byte
+	cum   uint64 // highest contiguous seq delivered
+	buf   map[uint64]*wire.Packet
 }
 
 // Channel is a reliable packet conduit over one transport endpoint.
 type Channel struct {
 	tr  transport.Transport
 	cfg Config
+	ctr counters
 
-	mu      sync.Mutex
-	out     map[ident.ID]*destState
-	lastIn  map[ident.ID]uint64
-	waiters map[ackKey]chan struct{}
-	stats   Stats
-	closed  bool
+	mu     sync.Mutex
+	dests  map[ident.ID]*destState
+	epochs map[ident.ID]byte // outbound epoch floor surviving Forget
+	closed bool
+
+	// rmu guards the receiver ordering state separately from the
+	// sender maps: the receive path must not serialise against the
+	// SendAsync hot path.
+	rmu sync.Mutex
+	rst map[ident.ID]*recvState
 
 	inbound chan *wire.Packet
 	done    chan struct{}
 	wg      sync.WaitGroup
 }
 
-type destState struct {
-	mu  sync.Mutex // serialises sends to this destination (stop-and-wait)
-	seq uint64
-}
-
-type ackKey struct {
-	dst ident.ID
-	seq uint64
-}
-
 // New wraps a transport endpoint and starts the receive loop. Close the
 // channel (not the transport directly) when done.
 func New(tr transport.Transport, cfg Config) *Channel {
+	def := DefaultConfig()
 	if cfg.RetryTimeout <= 0 {
-		cfg.RetryTimeout = DefaultConfig().RetryTimeout
+		cfg.RetryTimeout = def.RetryTimeout
 	}
-	if cfg.MaxRetries < 0 {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = def.MaxRetries
+	} else if cfg.MaxRetries < 0 {
 		cfg.MaxRetries = 0
 	}
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.ReorderDepth <= 0 {
+		cfg.ReorderDepth = def.ReorderDepth
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = def.MaxPending
+	}
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = DefaultConfig().QueueDepth
+		cfg.QueueDepth = def.QueueDepth
 	}
 	if cfg.MaxRetryTimeout <= 0 {
 		cfg.MaxRetryTimeout = 10 * cfg.RetryTimeout
@@ -113,9 +283,9 @@ func New(tr transport.Transport, cfg Config) *Channel {
 	c := &Channel{
 		tr:      tr,
 		cfg:     cfg,
-		out:     make(map[ident.ID]*destState),
-		lastIn:  make(map[ident.ID]uint64),
-		waiters: make(map[ackKey]chan struct{}),
+		dests:   make(map[ident.ID]*destState),
+		rst:     make(map[ident.ID]*recvState),
+		epochs:  make(map[ident.ID]byte),
 		inbound: make(chan *wire.Packet, cfg.QueueDepth),
 		done:    make(chan struct{}),
 	}
@@ -128,90 +298,298 @@ func New(tr transport.Transport, cfg Config) *Channel {
 func (c *Channel) LocalID() ident.ID { return c.tr.LocalID() }
 
 // Stats returns a snapshot of the counters.
-func (c *Channel) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
+func (c *Channel) Stats() Stats { return c.ctr.snapshot() }
 
 // Send transmits a reliable packet of the given type and payload to dst
 // and blocks until the destination acknowledges it or the retry budget
-// is exhausted. Sends to one destination are serialised (FIFO).
+// is exhausted. Sends to one destination are delivered in enqueue
+// order (FIFO).
 func (c *Channel) Send(dst ident.ID, ptype wire.PacketType, payload []byte) error {
+	return c.SendAsync(dst, ptype, payload).Wait()
+}
+
+// SendAsync enqueues a reliable packet for dst and returns immediately
+// with a Completion that resolves when the packet is acknowledged or
+// fails. The payload is copied before SendAsync returns, so the caller
+// may recycle its buffer at once. Packets to one destination are
+// delivered in enqueue order; up to Config.Window of them are kept in
+// flight concurrently.
+func (c *Channel) SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte) *Completion {
 	if dst.IsBroadcast() {
-		return errors.New("reliable: broadcast sends must be unreliable")
+		return failedCompletion(errBroadcast)
 	}
-	ds := c.dest(dst)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return failedCompletion(ErrClosed)
+		}
+		ds, ok := c.dests[dst]
+		if !ok {
+			ds = &destState{id: dst, epoch: c.epochs[dst], notify: make(chan struct{}, 1)}
+			c.dests[dst] = ds
+			c.wg.Add(1)
+			go c.runSender(ds)
+		}
+		c.mu.Unlock()
+		if comp, ok := c.enqueue(ds, ptype, payload); ok {
+			return comp
+		}
+		// The destination state was torn down (Forget or Close) while
+		// we held it: retry against fresh state.
+	}
+}
+
+// enqueue assigns a sequence number, marshals the packet into a pooled
+// buffer and appends it to the destination queue. It reports !ok when
+// ds is no longer the live state for this destination.
+func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte) (*Completion, bool) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
+	if ds.gone {
+		return nil, false
 	}
-	ds.seq++
-	seq := ds.seq
-	key := ackKey{dst: dst, seq: seq}
-	ackCh := make(chan struct{})
-	c.waiters[key] = ackCh
-	c.stats.Sent++
-	c.mu.Unlock()
-
-	defer func() {
-		c.mu.Lock()
-		delete(c.waiters, key)
-		c.mu.Unlock()
-	}()
-
-	pkt := &wire.Packet{Type: ptype, Sender: c.tr.LocalID(), Seq: seq, Payload: payload}
-	buf, err := pkt.MarshalBytes()
-	if err != nil {
-		return fmt.Errorf("reliable marshal: %w", err)
+	if len(ds.queue) >= c.cfg.MaxPending {
+		return failedCompletion(fmt.Errorf("%w: %d pending to %s", ErrBacklog, len(ds.queue), ds.id)), true
 	}
+	comp := newCompletion()
+	var op *sendOp
+	if len(ds.stash) > 0 {
+		s := ds.stash[0]
+		if s.ptype == ptype && bytes.Equal(s.payload(), payload) {
+			// Identical resend of a failed packet: resume its original
+			// sequence number so a receiver that already delivered it
+			// (acks lost) dedups instead of delivering twice.
+			ds.stash = ds.stash[1:]
+			op = s
+			op.comp = comp
+			op.flags |= wire.FlagRetransmit
+			_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
+			c.ctr.resumed.Add(1)
+		} else {
+			// Divergent traffic after give-up: the failed packets are
+			// truly abandoned. Restart the outbound stream under a new
+			// epoch so the receiver does not wait on the gap forever.
+			c.resetStreamLocked(ds)
+		}
+	}
+	if op == nil {
+		ds.nextSeq++
+		op = &sendOp{seq: ds.nextSeq, ptype: ptype, comp: comp}
+		bp := getBuf()
+		pkt := wire.Packet{
+			Type:    ptype,
+			Epoch:   ds.epoch,
+			Sender:  c.tr.LocalID(),
+			Seq:     op.seq,
+			Payload: payload,
+		}
+		b, err := pkt.Marshal((*bp)[:0])
+		if err != nil {
+			putBuf(bp)
+			ds.nextSeq--
+			comp.err = fmt.Errorf("reliable marshal: %w", err)
+			close(comp.done)
+			return comp, true
+		}
+		*bp = b
+		op.bufp = bp
+	}
+	ds.queue = append(ds.queue, op)
+	c.ctr.sent.Add(1)
+	ds.kick()
+	return comp, true
+}
 
-	timeout := c.cfg.RetryTimeout
-	for attempt := 0; ; attempt++ {
-		if attempt > 0 {
-			pkt.Flags |= wire.FlagRetransmit
-			buf, err = pkt.MarshalBytes()
-			if err != nil {
-				return fmt.Errorf("reliable marshal: %w", err)
+// resetStreamLocked abandons the stash, bumps the epoch, and renumbers
+// any still-queued packets into it. Caller holds ds.mu.
+func (c *Channel) resetStreamLocked(ds *destState) {
+	for _, s := range ds.stash {
+		putBuf(s.bufp)
+		s.bufp = nil
+	}
+	ds.stash = nil
+	ds.epoch++
+	ds.nextSeq = 0
+	for _, op := range ds.queue {
+		ds.nextSeq++
+		op.seq = ds.nextSeq
+		_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
+	}
+	ds.inflight = 0 // retransmit everything under the new epoch
+	ds.attempts = 0
+	ds.dupAcks = 0
+	ds.fastRetx = false
+	ds.deadline = time.Time{}
+	c.ctr.streamResets.Add(1)
+}
+
+// backoff returns the retransmit timeout after the given number of
+// consecutive retransmission rounds.
+func (c *Channel) backoff(rounds int) time.Duration {
+	d := c.cfg.RetryTimeout
+	for i := 0; i < rounds; i++ {
+		d *= 2
+		if d >= c.cfg.MaxRetryTimeout {
+			return c.cfg.MaxRetryTimeout
+		}
+	}
+	return d
+}
+
+// transmit sends one marshalled packet. Most transport-level errors
+// are not surfaced: on a datagram network a failed send is
+// indistinguishable from loss, and the retransmission machinery
+// recovers either way. ErrTooLarge is the exception — it is permanent
+// for the packet, so the caller fails it immediately rather than
+// burning the retry budget.
+func (c *Channel) transmit(dst ident.ID, buf []byte) error {
+	err := c.tr.Send(dst, buf)
+	if err != nil && errors.Is(err, transport.ErrTooLarge) {
+		return err
+	}
+	return nil
+}
+
+// runSender drains one destination's queue: it keeps up to Window
+// packets in flight, retransmits them on a single per-destination
+// deadline with exponential backoff, and fails the queue when the
+// retry budget is exhausted.
+func (c *Channel) runSender(ds *destState) {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerArmed := false
+	for {
+		ds.mu.Lock()
+		if ds.gone {
+			ds.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		if ds.inflight > 0 && !ds.deadline.IsZero() && !now.Before(ds.deadline) {
+			if ds.attempts >= c.cfg.MaxRetries {
+				c.giveUpLocked(ds)
+			} else {
+				for i := 0; i < ds.inflight; i++ {
+					op := ds.queue[i]
+					op.flags |= wire.FlagRetransmit
+					_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
+					c.transmit(ds.id, *op.bufp)
+					c.ctr.retransmits.Add(1)
+				}
+				ds.attempts++
+				ds.deadline = now.Add(c.backoff(ds.attempts))
 			}
-			c.mu.Lock()
-			c.stats.Retransmits++
-			c.mu.Unlock()
 		}
-		if err := c.tr.Send(dst, buf); err != nil &&
-			!errors.Is(err, transport.ErrUnknownDest) {
-			return fmt.Errorf("reliable send: %w", err)
+		if ds.fastRetx && ds.inflight > 0 {
+			// Three duplicate cumulative acks: the base packet is
+			// likely lost while later ones were buffered. Retransmit
+			// it without waiting for the deadline.
+			ds.fastRetx = false
+			op := ds.queue[0]
+			op.flags |= wire.FlagRetransmit
+			_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
+			c.transmit(ds.id, *op.bufp)
+			c.ctr.fastRetransmits.Add(1)
 		}
-		timer := time.NewTimer(timeout)
+		for ds.inflight < c.cfg.Window && ds.inflight < len(ds.queue) {
+			op := ds.queue[ds.inflight]
+			if err := c.transmit(ds.id, *op.bufp); err != nil {
+				// Permanently unsendable (over the transport MTU):
+				// fail this op now and close the sequence gap by
+				// renumbering the untransmitted ops behind it.
+				op.comp.err = fmt.Errorf("reliable send: %w", err)
+				close(op.comp.done)
+				op.comp = nil
+				putBuf(op.bufp)
+				op.bufp = nil
+				c.ctr.failures.Add(1)
+				ds.queue = append(ds.queue[:ds.inflight], ds.queue[ds.inflight+1:]...)
+				for _, later := range ds.queue[ds.inflight:] {
+					later.seq--
+					_ = wire.PatchHeader(*later.bufp, later.flags, ds.epoch, later.seq)
+				}
+				ds.nextSeq--
+				continue
+			}
+			if ds.inflight == 0 {
+				ds.attempts = 0
+				ds.deadline = time.Now().Add(c.backoff(0))
+			}
+			ds.inflight++
+		}
+		wait := time.Duration(-1)
+		if ds.inflight > 0 {
+			wait = time.Until(ds.deadline)
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		ds.mu.Unlock()
+
+		if timerArmed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timerArmed = false
+		if wait >= 0 {
+			timer.Reset(wait)
+			timerArmed = true
+		}
 		select {
-		case <-ackCh:
-			timer.Stop()
-			c.mu.Lock()
-			c.stats.Acked++
-			c.mu.Unlock()
-			return nil
-		case <-c.done:
-			timer.Stop()
-			return ErrClosed
+		case <-ds.notify:
 		case <-timer.C:
-		}
-		if attempt >= c.cfg.MaxRetries {
-			c.mu.Lock()
-			c.stats.Failures++
-			c.mu.Unlock()
-			return fmt.Errorf("%w: %s seq=%d to %s", ErrGaveUp, ptype, seq, dst)
-		}
-		if timeout < c.cfg.MaxRetryTimeout {
-			timeout *= 2
-			if timeout > c.cfg.MaxRetryTimeout {
-				timeout = c.cfg.MaxRetryTimeout
-			}
+			timerArmed = false
+		case <-c.done:
+			return
 		}
 	}
+}
+
+// giveUpLocked fails every queued packet with ErrGaveUp and moves them
+// to the resume stash. Caller holds ds.mu.
+func (c *Channel) giveUpLocked(ds *destState) {
+	for _, op := range ds.queue {
+		op.comp.err = fmt.Errorf("%w: %s epoch=%d seq=%d to %s",
+			ErrGaveUp, op.ptype, ds.epoch, op.seq, ds.id)
+		close(op.comp.done)
+		op.comp = nil
+		c.ctr.failures.Add(1)
+	}
+	// Failed queue entries carry lower sequence numbers than whatever
+	// remains of an earlier stash, so they go in front.
+	ds.stash = append(ds.queue, ds.stash...)
+	ds.queue = nil
+	ds.inflight = 0
+	ds.attempts = 0
+	ds.dupAcks = 0
+	ds.fastRetx = false
+	ds.deadline = time.Time{}
+}
+
+// failPendingLocked resolves every queued packet with err and drops all
+// sender state. Caller holds ds.mu.
+func (c *Channel) failPendingLocked(ds *destState, err error) {
+	for _, op := range ds.queue {
+		op.comp.err = err
+		close(op.comp.done)
+		op.comp = nil
+		putBuf(op.bufp)
+		op.bufp = nil
+	}
+	ds.queue = nil
+	ds.inflight = 0
+	for _, s := range ds.stash {
+		putBuf(s.bufp)
+		s.bufp = nil
+	}
+	ds.stash = nil
+	ds.deadline = time.Time{}
 }
 
 // SendUnreliable transmits a fire-and-forget packet (FlagNoAck). It may
@@ -222,27 +600,32 @@ func (c *Channel) SendUnreliable(dst ident.ID, ptype wire.PacketType, payload []
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	c.stats.UnreliableOut++
 	c.mu.Unlock()
-	pkt := &wire.Packet{
+	c.ctr.unreliableOut.Add(1)
+	pkt := wire.Packet{
 		Type:    ptype,
 		Flags:   wire.FlagNoAck,
 		Sender:  c.tr.LocalID(),
 		Payload: payload,
 	}
-	buf, err := pkt.MarshalBytes()
+	bp := getBuf()
+	b, err := pkt.Marshal((*bp)[:0])
 	if err != nil {
+		putBuf(bp)
 		return fmt.Errorf("reliable marshal: %w", err)
 	}
-	if err := c.tr.Send(dst, buf); err != nil &&
-		!errors.Is(err, transport.ErrUnknownDest) {
-		return fmt.Errorf("unreliable send: %w", err)
+	*bp = b
+	sendErr := c.tr.Send(dst, b)
+	putBuf(bp)
+	if sendErr != nil && !errors.Is(sendErr, transport.ErrUnknownDest) {
+		return fmt.Errorf("unreliable send: %w", sendErr)
 	}
 	return nil
 }
 
 // Recv blocks for the next delivered packet. Reliable packets have been
-// acknowledged and deduplicated; unreliable ones are passed through.
+// acknowledged, deduplicated and reordered into per-sender sequence
+// order; unreliable ones are passed through.
 func (c *Channel) Recv() (*wire.Packet, error) {
 	select {
 	case p := <-c.inbound:
@@ -277,15 +660,36 @@ func (c *Channel) RecvTimeout(d time.Duration) (*wire.Packet, error) {
 }
 
 // Forget discards reliability state for a purged member so that a
-// returning device with the same ID starts a fresh stream.
+// returning device with the same ID starts a fresh stream. Packets
+// still pending towards the member fail with ErrGaveUp. The outbound
+// epoch floor survives: the next stream to the same ID opens under a
+// fresh epoch, so stragglers of the old stream cannot pollute it.
 func (c *Channel) Forget(id ident.ID) {
+	c.rmu.Lock()
+	delete(c.rst, id)
+	c.rmu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.lastIn, id)
-	delete(c.out, id)
+	ds := c.dests[id]
+	if ds != nil {
+		// Taking ds.mu under c.mu is safe: no path acquires c.mu
+		// while holding a destState mutex. Bumping the epoch floor in
+		// the same critical section that removes the dest guarantees
+		// a racing SendAsync either finds the old state (and fails,
+		// retrying against fresh state) or opens the new epoch —
+		// never a fresh stream under the forgotten stream's epoch.
+		ds.mu.Lock()
+		ds.gone = true
+		c.failPendingLocked(ds, fmt.Errorf("%w: %s forgotten", ErrGaveUp, id))
+		ds.kick()
+		c.epochs[id] = ds.epoch + 1
+		ds.mu.Unlock()
+		delete(c.dests, id)
+	}
+	c.mu.Unlock()
 }
 
-// Close stops the receive loop and closes the underlying transport.
+// Close stops the machinery, fails every in-flight send with ErrClosed
+// promptly, and closes the underlying transport.
 func (c *Channel) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -293,22 +697,25 @@ func (c *Channel) Close() error {
 		return nil
 	}
 	c.closed = true
+	dests := make([]*destState, 0, len(c.dests))
+	for _, ds := range c.dests {
+		dests = append(dests, ds)
+	}
 	c.mu.Unlock()
 	close(c.done)
+	// Wake blocked senders before tearing the transport down: no new
+	// op can be enqueued (closed is set), and marking each dest gone
+	// resolves the races with in-progress enqueues.
+	for _, ds := range dests {
+		ds.mu.Lock()
+		ds.gone = true
+		c.failPendingLocked(ds, ErrClosed)
+		ds.kick()
+		ds.mu.Unlock()
+	}
 	err := c.tr.Close()
 	c.wg.Wait()
 	return err
-}
-
-func (c *Channel) dest(dst ident.ID) *destState {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ds, ok := c.out[dst]
-	if !ok {
-		ds = &destState{}
-		c.out[dst] = ds
-	}
-	return ds
 }
 
 func (c *Channel) recvLoop() {
@@ -324,7 +731,6 @@ func (c *Channel) recvLoop() {
 			// datagram network must tolerate.
 			continue
 		}
-		pkt.ClonePayload()
 		c.handle(pkt)
 	}
 }
@@ -332,43 +738,155 @@ func (c *Channel) recvLoop() {
 func (c *Channel) handle(pkt *wire.Packet) {
 	switch {
 	case pkt.Type == wire.PktAck:
-		c.mu.Lock()
-		ch, ok := c.waiters[ackKey{dst: pkt.Sender, seq: pkt.Seq}]
-		if ok {
-			delete(c.waiters, ackKey{dst: pkt.Sender, seq: pkt.Seq})
-		} else {
-			c.stats.StaleAcks++
-		}
-		c.mu.Unlock()
-		if ok {
-			close(ch)
-		}
+		c.handleAck(pkt)
 	case pkt.Flags&wire.FlagNoAck != 0:
-		c.mu.Lock()
-		c.stats.UnreliableIn++
-		c.mu.Unlock()
+		c.ctr.unreliableIn.Add(1)
+		pkt.ClonePayload()
 		c.deliver(pkt)
 	default:
-		c.mu.Lock()
-		last := c.lastIn[pkt.Sender]
-		dup := pkt.Seq <= last
-		if !dup {
-			c.lastIn[pkt.Sender] = pkt.Seq
-			c.stats.Received++
+		c.handleData(pkt)
+	}
+}
+
+// handleAck applies a cumulative acknowledgement to the destination's
+// send queue.
+func (c *Channel) handleAck(pkt *wire.Packet) {
+	c.mu.Lock()
+	ds := c.dests[pkt.Sender]
+	c.mu.Unlock()
+	if ds == nil {
+		c.ctr.staleAcks.Add(1)
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if pkt.Epoch != ds.epoch {
+		c.ctr.staleAcks.Add(1)
+		return
+	}
+	cum := pkt.Seq
+	progress := 0
+	for len(ds.queue) > 0 && ds.queue[0].seq <= cum {
+		op := ds.queue[0]
+		ds.queue = ds.queue[1:]
+		if ds.inflight > 0 {
+			ds.inflight--
+		}
+		putBuf(op.bufp)
+		op.bufp = nil
+		close(op.comp.done) // err stays nil: success
+		op.comp = nil
+		progress++
+	}
+	switch {
+	case progress > 0:
+		c.ctr.acked.Add(uint64(progress))
+		ds.attempts = 0
+		ds.dupAcks = 0
+		if ds.inflight > 0 {
+			ds.deadline = time.Now().Add(c.backoff(0))
 		} else {
-			c.stats.DupsDropped++
+			ds.deadline = time.Time{}
 		}
-		c.mu.Unlock()
-		// Always (re-)acknowledge: the sender may have missed the
-		// previous ack.
-		ack := &wire.Packet{Type: wire.PktAck, Sender: c.tr.LocalID(), Seq: pkt.Seq}
-		if buf, err := ack.MarshalBytes(); err == nil {
-			_ = c.tr.Send(pkt.Sender, buf) // loss handled by sender retry
+		ds.kick()
+	case ds.inflight > 0 && cum+1 == ds.queue[0].seq:
+		// Duplicate cumulative ack: the receiver is waiting for our
+		// base packet.
+		ds.dupAcks++
+		if ds.dupAcks == 3 && c.cfg.Window > 1 {
+			ds.fastRetx = true
+			ds.kick()
 		}
-		if !dup {
-			c.deliver(pkt)
+	case len(ds.queue) == 0:
+		c.ctr.staleAcks.Add(1)
+	}
+}
+
+// epochNewer reports whether a is a more recent stream epoch than b,
+// using mod-256 serial-number arithmetic.
+func epochNewer(a, b byte) bool {
+	return a != b && byte(a-b) < 128
+}
+
+// handleData runs the receiver half of the ARQ: cumulative state,
+// reorder buffer, strictly in-order release to Recv, and a cumulative
+// acknowledgement back to the sender.
+func (c *Channel) handleData(pkt *wire.Packet) {
+	c.rmu.Lock()
+	st, ok := c.rst[pkt.Sender]
+	if !ok {
+		// First contact with this sender (or first after Forget).
+		st = &recvState{epoch: pkt.Epoch}
+		c.rst[pkt.Sender] = st
+	}
+	if pkt.Epoch != st.epoch {
+		if epochNewer(pkt.Epoch, st.epoch) {
+			// The sender restarted its stream; reset streams always
+			// renumber from 1, so expect exactly that.
+			st.epoch = pkt.Epoch
+			st.cum = 0
+			st.buf = nil
+		} else {
+			c.ctr.staleEpoch.Add(1)
+			c.rmu.Unlock()
+			return
 		}
 	}
+	switch {
+	case pkt.Seq <= st.cum:
+		c.ctr.dupsDropped.Add(1)
+	case pkt.Seq == st.cum+1:
+		pkt.ClonePayload()
+		c.deliver(pkt)
+		st.cum++
+		c.ctr.received.Add(1)
+		for len(st.buf) > 0 {
+			next, ok := st.buf[st.cum+1]
+			if !ok {
+				break
+			}
+			delete(st.buf, st.cum+1)
+			c.deliver(next)
+			st.cum++
+			c.ctr.received.Add(1)
+		}
+	default: // gap: park the packet until the hole fills
+		if st.buf == nil {
+			st.buf = make(map[uint64]*wire.Packet)
+		}
+		if _, dup := st.buf[pkt.Seq]; dup {
+			c.ctr.dupsDropped.Add(1)
+		} else if len(st.buf) < c.cfg.ReorderDepth {
+			pkt.ClonePayload()
+			st.buf[pkt.Seq] = pkt
+			c.ctr.buffered.Add(1)
+		}
+		// else: buffer full — drop; sender retransmission recovers.
+	}
+	epoch, cum := st.epoch, st.cum
+	c.rmu.Unlock()
+	// Always (re-)acknowledge, including for duplicates: the sender
+	// may have missed the previous ack.
+	c.sendAck(pkt.Sender, epoch, cum)
+}
+
+// sendAck emits a cumulative acknowledgement covering every packet of
+// the epoch up to and including cum.
+func (c *Channel) sendAck(dst ident.ID, epoch byte, cum uint64) {
+	ack := wire.Packet{
+		Type:   wire.PktAck,
+		Flags:  wire.FlagCumAck,
+		Epoch:  epoch,
+		Sender: c.tr.LocalID(),
+		Seq:    cum,
+	}
+	bp := getBuf()
+	b, err := ack.Marshal((*bp)[:0])
+	if err == nil {
+		*bp = b
+		_ = c.tr.Send(dst, b) // loss handled by sender retry
+	}
+	putBuf(bp)
 }
 
 func (c *Channel) deliver(pkt *wire.Packet) {

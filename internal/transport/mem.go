@@ -14,7 +14,17 @@ import (
 type Switch struct {
 	mu        sync.RWMutex
 	endpoints map[ident.ID]*MemTransport
+	hook      DeliveryHook
 	closed    bool
+	timers    sync.WaitGroup
+}
+
+// SetDeliveryHook installs (or, with nil, removes) a test hook applied
+// to every unicast datagram crossing the switch.
+func (s *Switch) SetDeliveryHook(h DeliveryHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
 }
 
 // NewSwitch returns an empty hub.
@@ -70,6 +80,7 @@ func (s *Switch) Close() error {
 	for _, ep := range eps {
 		ep.closeLocal()
 	}
+	s.timers.Wait()
 	return nil
 }
 
@@ -93,6 +104,26 @@ func (s *Switch) deliver(from, dst ident.ID, data []byte) error {
 	ep, ok := s.endpoints[dst]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownDest, dst)
+	}
+	if s.hook != nil {
+		drop, delay := s.hook(from, dst, data)
+		if drop {
+			return nil
+		}
+		if delay > 0 {
+			cp := cloneBytes(data)
+			s.timers.Add(1)
+			time.AfterFunc(delay, func() {
+				defer s.timers.Done()
+				s.mu.RLock()
+				late, ok := s.endpoints[dst]
+				s.mu.RUnlock()
+				if ok {
+					late.enqueue(Datagram{From: from, Data: cp})
+				}
+			})
+			return nil
+		}
 	}
 	ep.enqueue(Datagram{From: from, Data: cloneBytes(data)})
 	return nil

@@ -200,3 +200,61 @@ func TestConcurrentSendersReceiveAll(t *testing.T) {
 		}
 	}
 }
+
+func TestSwitchDeliveryHookDropAndDelay(t *testing.T) {
+	s := NewSwitch()
+	defer s.Close()
+	a, err := s.Attach(ident.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Attach(ident.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls int
+	s.SetDeliveryHook(func(from, to ident.ID, data []byte) (bool, time.Duration) {
+		calls++
+		switch calls {
+		case 1:
+			return true, 0 // drop the first datagram
+		case 2:
+			return false, 20 * time.Millisecond // delay the second
+		default:
+			return false, 0
+		}
+	})
+
+	for i := byte(1); i <= 3; i++ {
+		if err := a.Send(b.LocalID(), []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Datagram 1 dropped, 2 delayed: 3 arrives first, then 2.
+	dg, err := b.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Data[0] != 3 {
+		t.Errorf("first arrival = %d, want 3 (hook reorder)", dg.Data[0])
+	}
+	dg, err = b.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Data[0] != 2 {
+		t.Errorf("second arrival = %d, want 2 (delayed)", dg.Data[0])
+	}
+	if _, err := b.RecvTimeout(50 * time.Millisecond); err == nil {
+		t.Error("dropped datagram surfaced")
+	}
+
+	s.SetDeliveryHook(nil)
+	if err := a.Send(b.LocalID(), []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if dg, err = b.RecvTimeout(time.Second); err != nil || dg.Data[0] != 9 {
+		t.Errorf("after hook removal: %v %v", dg, err)
+	}
+}

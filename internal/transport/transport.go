@@ -39,6 +39,13 @@ type Transport interface {
 	Close() error
 }
 
+// DeliveryHook lets tests intercept unicast datagrams on hook-capable
+// transports (Switch, UDPTransport): returning drop suppresses the
+// datagram, a positive delay defers it — enough to script loss and
+// reorder scenarios on otherwise well-behaved links without standing
+// up a full netsim.Network. The hook must not retain data.
+type DeliveryHook func(from, to ident.ID, data []byte) (drop bool, delay time.Duration)
+
 var (
 	// ErrClosed reports use of a closed transport.
 	ErrClosed = errors.New("transport: closed")

@@ -24,6 +24,7 @@ type UDPTransport struct {
 	// for loopback testing it is the set of peer broadcast listeners.
 	mu     sync.RWMutex
 	bcast  []*net.UDPAddr
+	hook   DeliveryHook
 	closed bool
 
 	queue chan Datagram
@@ -93,6 +94,15 @@ func NewUDPTransport(opts ...UDPOption) (*UDPTransport, error) {
 	return t, nil
 }
 
+// SetSendHook installs (or, with nil, removes) a test hook applied to
+// every unicast Send before it reaches the socket: loss and reorder
+// injection on the real-socket path, mirroring Switch.SetDeliveryHook.
+func (t *UDPTransport) SetSendHook(h DeliveryHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hook = h
+}
+
 // AddBroadcastPeer registers an address reached by broadcast sends.
 func (t *UDPTransport) AddBroadcastPeer(addr *net.UDPAddr) {
 	t.mu.Lock()
@@ -149,9 +159,27 @@ func (t *UDPTransport) Send(dst ident.ID, data []byte) error {
 	t.mu.RLock()
 	closed := t.closed
 	bcast := t.bcast
+	hook := t.hook
 	t.mu.RUnlock()
 	if closed {
 		return ErrClosed
+	}
+	if hook != nil && !dst.IsBroadcast() {
+		drop, delay := hook(t.id, dst, data)
+		if drop {
+			return nil
+		}
+		if delay > 0 {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			ip, port := dst.Addr()
+			time.AfterFunc(delay, func() {
+				// Best effort: a closed socket just drops the
+				// datagram, as a real network would.
+				_, _ = t.conn.WriteToUDP(cp, &net.UDPAddr{IP: ip, Port: port})
+			})
+			return nil
+		}
 	}
 	if dst.IsBroadcast() {
 		var firstErr error

@@ -133,3 +133,51 @@ func TestUDPPinnedPort(t *testing.T) {
 		t.Error("no port bound")
 	}
 }
+
+func TestUDPSendHookDropAndDelay(t *testing.T) {
+	a, err := NewUDPTransport()
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer a.Close()
+	b, err := NewUDPTransport()
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer b.Close()
+
+	var calls int
+	a.SetSendHook(func(from, to ident.ID, data []byte) (bool, time.Duration) {
+		calls++
+		switch calls {
+		case 1:
+			return true, 0
+		case 2:
+			return false, 30 * time.Millisecond
+		default:
+			return false, 0
+		}
+	})
+	for i := byte(1); i <= 3; i++ {
+		if err := a.Send(b.LocalID(), []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dg, err := b.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Data[0] != 3 {
+		t.Errorf("first arrival = %d, want 3 (datagram 1 dropped, 2 delayed)", dg.Data[0])
+	}
+	dg, err = b.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Data[0] != 2 {
+		t.Errorf("second arrival = %d, want 2", dg.Data[0])
+	}
+	if _, err := b.RecvTimeout(50 * time.Millisecond); err == nil {
+		t.Error("dropped datagram surfaced")
+	}
+}

@@ -14,7 +14,7 @@
 //	2       1     version (currently 1)
 //	3       1     packet type
 //	4       1     flags
-//	5       1     reserved (0)
+//	5       1     stream epoch (0 before any outbound stream reset)
 //	6       6     sender ID (48 bits)
 //	12      8     sequence number
 //	20      4     payload length
@@ -110,6 +110,10 @@ const (
 	FlagNoAck byte = 1 << iota
 	// FlagRetransmit marks a retransmitted packet.
 	FlagRetransmit
+	// FlagCumAck marks a PktAck whose Seq is cumulative: it
+	// acknowledges every packet of the echoed epoch up to and
+	// including Seq, not just the one packet carrying that number.
+	FlagCumAck
 )
 
 // Version is the current wire format version.
@@ -142,8 +146,16 @@ var magic = [2]byte{'S', 'M'}
 
 // Packet is a decoded transport packet.
 type Packet struct {
-	Type    PacketType
-	Flags   byte
+	Type  PacketType
+	Flags byte
+	// Epoch numbers the sender's outbound reliable stream to this
+	// destination. It starts at 0 and is bumped when the sender
+	// abandons unacknowledged packets and restarts its sequence
+	// numbers (see package reliable); a receiver seeing a newer epoch
+	// resets its per-sender ordering state. Byte 5 of the header was
+	// reserved-zero before this field existed, so epoch-0 packets are
+	// byte-identical to the original format.
+	Epoch   byte
 	Sender  ident.ID
 	Seq     uint64
 	Payload []byte
@@ -168,7 +180,7 @@ func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 	buf[2] = Version
 	buf[3] = byte(p.Type)
 	buf[4] = p.Flags
-	buf[5] = 0
+	buf[5] = p.Epoch
 	putID48(buf[6:12], p.Sender)
 	binary.BigEndian.PutUint64(buf[12:20], p.Seq)
 	binary.BigEndian.PutUint32(buf[20:24], uint32(len(p.Payload)))
@@ -211,10 +223,28 @@ func Unmarshal(buf []byte) (*Packet, error) {
 	return &Packet{
 		Type:    PacketType(buf[3]),
 		Flags:   buf[4],
+		Epoch:   buf[5],
 		Sender:  getID48(buf[6:12]),
 		Seq:     binary.BigEndian.Uint64(buf[12:20]),
 		Payload: buf[HeaderLen : HeaderLen+plen],
 	}, nil
+}
+
+// PatchHeader rewrites the flags, epoch and sequence number of an
+// already-marshalled packet in place and refreshes the CRC trailer.
+// The reliability layer uses it to mark retransmissions and to
+// renumber queued packets into a new epoch without re-encoding the
+// payload (the point of pooling marshal buffers across retransmits).
+func PatchHeader(buf []byte, flags, epoch byte, seq uint64) error {
+	if len(buf) < HeaderLen+TrailerLen {
+		return fmt.Errorf("%w: %d bytes", ErrShortPacket, len(buf))
+	}
+	buf[4] = flags
+	buf[5] = epoch
+	binary.BigEndian.PutUint64(buf[12:20], seq)
+	body := buf[: len(buf)-TrailerLen : len(buf)]
+	binary.BigEndian.PutUint32(buf[len(buf)-TrailerLen:], crc32.ChecksumIEEE(body))
+	return nil
 }
 
 // ClonePayload replaces the payload with a private copy, detaching the
@@ -246,6 +276,6 @@ func getID48(src []byte) ident.ID {
 
 // String renders the packet for logs.
 func (p *Packet) String() string {
-	return fmt.Sprintf("pkt{%s sender=%s seq=%d flags=%02x len=%d}",
-		p.Type, p.Sender, p.Seq, p.Flags, len(p.Payload))
+	return fmt.Sprintf("pkt{%s sender=%s epoch=%d seq=%d flags=%02x len=%d}",
+		p.Type, p.Sender, p.Epoch, p.Seq, p.Flags, len(p.Payload))
 }

@@ -13,6 +13,7 @@ func TestPacketRoundTrip(t *testing.T) {
 	p := &Packet{
 		Type:    PktEvent,
 		Flags:   FlagRetransmit,
+		Epoch:   42,
 		Sender:  ident.New(0x123456789ABC),
 		Seq:     987654321,
 		Payload: []byte("hello world"),
@@ -28,9 +29,52 @@ func TestPacketRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if got.Type != p.Type || got.Flags != p.Flags || got.Sender != p.Sender ||
-		got.Seq != p.Seq || string(got.Payload) != string(p.Payload) {
+	if got.Type != p.Type || got.Flags != p.Flags || got.Epoch != p.Epoch ||
+		got.Sender != p.Sender || got.Seq != p.Seq ||
+		string(got.Payload) != string(p.Payload) {
 		t.Errorf("roundtrip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestPatchHeader(t *testing.T) {
+	p := &Packet{
+		Type:    PktEvent,
+		Sender:  ident.New(7),
+		Seq:     3,
+		Payload: []byte("steady payload"),
+	}
+	buf, err := p.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PatchHeader(buf, FlagRetransmit, 9, 41); err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("unmarshal after patch: %v", err)
+	}
+	if got.Flags != FlagRetransmit || got.Epoch != 9 || got.Seq != 41 {
+		t.Errorf("patched packet = %s", got)
+	}
+	if string(got.Payload) != "steady payload" || got.Sender != p.Sender || got.Type != p.Type {
+		t.Errorf("patch disturbed unrelated fields: %s", got)
+	}
+	if err := PatchHeader(buf[:HeaderLen], 0, 0, 0); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short buf err = %v", err)
+	}
+}
+
+func TestEpochZeroMatchesLegacyLayout(t *testing.T) {
+	// Epoch 0 must produce the pre-epoch byte layout (reserved byte 0)
+	// so mixed-version deployments interoperate.
+	p := &Packet{Type: PktEvent, Sender: ident.New(1), Seq: 1}
+	buf, err := p.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[5] != 0 {
+		t.Errorf("epoch byte = %d, want 0", buf[5])
 	}
 }
 

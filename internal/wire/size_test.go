@@ -22,7 +22,7 @@ func TestEventSizeMatchesEncoding(t *testing.T) {
 			SetStr("unit", "bpm").
 			SetBytes("raw", []byte{1, 2, 3}),
 		event.NewTyped("big").
-			SetBytes("payload", make([]byte, 200)). // 2-byte uvarint prefix
+			SetBytes("payload", make([]byte, 200)).   // 2-byte uvarint prefix
 			SetStr("s", string(make([]byte, 16384))), // 3-byte uvarint prefix
 	}
 	for i, e := range events {
