@@ -35,7 +35,7 @@ func main() {
 		fig      = flag.String("fig", "all", "figure to regenerate: 4a, 4b, link, fanout, quench, redelivery, all")
 		full     = flag.Bool("full", false, "figure-quality sweep (slower); default is a quick sweep")
 		gate     = flag.String("gate", "", "gate mode: path to `go test -bench` output (\"-\" for stdin)")
-		baseline = flag.String("baseline", "BENCH_PR2.json", "gate mode: committed baseline JSON with a \"gate\" section")
+		baseline = flag.String("baseline", "BENCH_PR3.json", "gate mode: committed baseline JSON with a \"gate\" section")
 		gateOut  = flag.String("gate-out", "", "gate mode: write the machine-readable report JSON here")
 	)
 	flag.Parse()

@@ -184,9 +184,11 @@ func LinkBaseline(opt Options) (Result, error) {
 		if err := a.Send(b.LocalID(), []byte{1}); err != nil {
 			return res, err
 		}
-		if _, err := b.RecvTimeout(5 * time.Second); err != nil {
+		dg, err := b.RecvTimeout(5 * time.Second)
+		if err != nil {
 			return res, err
 		}
+		dg.Recycle()
 		d := time.Since(start)
 		if i == 0 || d < minL {
 			minL = d
@@ -214,10 +216,12 @@ func LinkBaseline(opt Options) (Result, error) {
 	errCh := make(chan error, 1)
 	go func() {
 		for i := 0; i < chunks; i++ {
-			if _, err := b.RecvTimeout(10 * time.Second); err != nil {
+			dg, err := b.RecvTimeout(10 * time.Second)
+			if err != nil {
 				errCh <- err
 				return
 			}
+			dg.Recycle()
 		}
 		errCh <- nil
 	}()

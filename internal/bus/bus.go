@@ -525,6 +525,10 @@ func (b *Bus) recvFrom(ch *reliable.Channel) {
 			return
 		}
 		b.handlePacket(pkt)
+		// Every handler fully decodes (copies) what it keeps from the
+		// payload before returning, so the pooled packet can recycle
+		// here — the end of the bus's inbound packet lifecycle.
+		pkt.Release()
 	}
 }
 
@@ -649,6 +653,14 @@ func (b *Bus) shardLoop(w *shardWorker) {
 // subscriber's proxy or local handler. The event is delivered shared
 // and immutable: proxies and handlers must not mutate it (proxies
 // whose devices do mutate clone on write — see proxy.EventMutator).
+//
+// The bus owns the publisher's reference on the event for the duration
+// of dispatch: each proxy takes its own reference when it enqueues the
+// event, and the bus releases its reference at the end — for an event
+// from event.Acquire with a purely local fan-out, that is the moment
+// it recycles, which is why local subscribers of pooled traffic must
+// Clone anything they keep beyond the handler callback. Events from
+// event.New are unaffected (Release is a no-op).
 func (b *Bus) process(w *shardWorker, item workItem) {
 	if b.cost.enabled() {
 		sleepCost(b.cost.IngestPerEvent + time.Duration(item.size)*b.cost.PerByte)
@@ -659,6 +671,7 @@ func (b *Bus) process(w *shardWorker, item workItem) {
 	if len(w.targets) == 0 {
 		b.ctr.noMatch.Add(1)
 		b.maybeQuench(item.e.Sender)
+		item.e.Release()
 		return
 	}
 	b.ctr.matched.Add(1)
@@ -687,6 +700,7 @@ func (b *Bus) process(w *shardWorker, item workItem) {
 	if nRemote > 0 {
 		b.ctr.enqueuedRemote.Add(nRemote)
 	}
+	item.e.Release()
 }
 
 // ---- quenching (§VI) ----

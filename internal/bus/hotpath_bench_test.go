@@ -114,13 +114,18 @@ func benchHotPath(b *testing.B, delivery string, fan int, opts ...Option) {
 		go func(svc *LocalService, quota int) {
 			defer wg.Done()
 			for i := 0; i < quota; i++ {
-				e := event.NewTyped("bench").SetInt("k", int64(i))
+				// The pooled-event lifecycle: the bus releases the
+				// event once dispatch completes and the struct
+				// recycles, so a small (≤ InlineAttrs-attribute)
+				// publish allocates nothing in steady state.
+				e := event.Acquire().SetStr(event.AttrType, "bench").SetInt("k", int64(i))
 				for {
 					err := svc.Publish(e)
 					if err == nil {
 						break
 					}
 					if !errors.Is(err, ErrBusy) {
+						e.Release()
 						b.Error(err)
 						return
 					}

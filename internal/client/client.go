@@ -213,41 +213,54 @@ func (c *Client) recvLoop() {
 		if err != nil {
 			return
 		}
-		switch pkt.Type {
-		case wire.PktEvent:
-			e, err := wire.DecodeEvent(pkt.Payload)
-			if err != nil {
-				continue
-			}
-			// Origin sender/seq travel inside the payload; the packet
-			// header identifies only the relaying bus.
-			c.mu.Lock()
-			c.stats.EventsReceived++
-			c.mu.Unlock()
-			select {
-			case c.inbox <- e:
-			case <-c.done:
-				return
-			default: // inbox overflow: drop oldest semantics not needed; drop new
-			}
-		case wire.PktData:
-			cp := make([]byte, len(pkt.Payload))
-			copy(cp, pkt.Payload)
-			c.mu.Lock()
-			c.stats.DataReceived++
-			c.mu.Unlock()
-			select {
-			case c.data <- cp:
-			case <-c.done:
-				return
-			default:
-			}
-		case wire.PktQuench:
-			c.quenched.Store(true)
-		case wire.PktUnquench:
-			c.quenched.Store(false)
-		default:
-			// Unknown traffic on the client endpoint: ignore.
+		stop := c.handleInbound(pkt)
+		// handleInbound copies anything it keeps out of the payload,
+		// so the pooled packet can recycle here.
+		pkt.Release()
+		if stop {
+			return
 		}
 	}
+}
+
+// handleInbound processes one packet from the bus; it reports true when
+// the client is shutting down.
+func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
+	switch pkt.Type {
+	case wire.PktEvent:
+		e, err := wire.DecodeEvent(pkt.Payload)
+		if err != nil {
+			return false
+		}
+		// Origin sender/seq travel inside the payload; the packet
+		// header identifies only the relaying bus.
+		c.mu.Lock()
+		c.stats.EventsReceived++
+		c.mu.Unlock()
+		select {
+		case c.inbox <- e:
+		case <-c.done:
+			return true
+		default: // inbox overflow: drop oldest semantics not needed; drop new
+		}
+	case wire.PktData:
+		cp := make([]byte, len(pkt.Payload))
+		copy(cp, pkt.Payload)
+		c.mu.Lock()
+		c.stats.DataReceived++
+		c.mu.Unlock()
+		select {
+		case c.data <- cp:
+		case <-c.done:
+			return true
+		default:
+		}
+	case wire.PktQuench:
+		c.quenched.Store(true)
+	case wire.PktUnquench:
+		c.quenched.Store(false)
+	default:
+		// Unknown traffic on the client endpoint: ignore.
+	}
+	return false
 }

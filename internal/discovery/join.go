@@ -85,16 +85,19 @@ func Join(ch *reliable.Channel, cfg JoinConfig) (*JoinResult, error) {
 			return nil, err
 		}
 		if pkt.Type != wire.PktBeacon {
+			pkt.Release()
 			continue
 		}
 		b, err := wire.DecodeBeacon(pkt.Payload)
+		sender := pkt.Sender
+		pkt.Release()
 		if err != nil {
 			continue
 		}
 		if cfg.Cell != "" && b.Cell != cfg.Cell {
 			continue
 		}
-		beacon, discSvc = b, pkt.Sender
+		beacon, discSvc = b, sender
 		break
 	}
 
@@ -124,6 +127,7 @@ func Join(ch *reliable.Channel, cfg JoinConfig) (*JoinResult, error) {
 		switch pkt.Type {
 		case wire.PktJoinAccept:
 			ja, err := wire.DecodeJoinAccept(pkt.Payload)
+			pkt.Release()
 			if err != nil {
 				return nil, fmt.Errorf("discovery: bad accept: %w", err)
 			}
@@ -137,11 +141,13 @@ func Join(ch *reliable.Channel, cfg JoinConfig) (*JoinResult, error) {
 			}, nil
 		case wire.PktJoinReject:
 			jr, err := wire.DecodeJoinReject(pkt.Payload)
+			pkt.Release()
 			if err != nil {
 				return nil, ErrRejected
 			}
 			return nil, fmt.Errorf("%w: %s", ErrRejected, jr.Reason)
 		default:
+			pkt.Release()
 			continue
 		}
 	}

@@ -256,6 +256,8 @@ func (s *Service) recvLoop() {
 		default:
 			// Bus traffic does not belong here; ignore.
 		}
+		// Handlers decode what they keep; recycle the pooled packet.
+		pkt.Release()
 	}
 }
 

@@ -3,9 +3,8 @@ package event
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/amuse/smc/internal/ident"
@@ -40,6 +39,12 @@ const (
 	MaxEventBytes = 128 * 1024
 )
 
+// InlineAttrs is the number of attributes an Event stores inline in its
+// own struct, with no separate heap allocation. The paper's workloads
+// (§II-C) are dominated by small sensor readings; events beyond this
+// size spill to a shared, copy-on-write heap slice up to MaxAttrs.
+const InlineAttrs = 8
+
 var (
 	// ErrTooManyAttrs reports an event exceeding MaxAttrs.
 	ErrTooManyAttrs = errors.New("event: too many attributes")
@@ -49,8 +54,31 @@ var (
 	ErrBadValue = errors.New("event: bad attribute value")
 )
 
+// attr is one named attribute. Events keep attrs sorted by name, so
+// lookups are binary searches and iteration order is deterministic
+// without sorting on every encode.
+type attr struct {
+	name string
+	val  Value
+}
+
+// spillStore holds the attributes of an event that outgrew the inline
+// array. The store is shared between an event and its clones
+// (copy-on-write): refs counts the events referencing it, and a
+// mutation through an event that is not the sole owner copies first.
+// refs is manipulated atomically so that concurrent Clones of one
+// shared, immutable event (the bus's zero-copy fan-out) are safe.
+type spillStore struct {
+	refs  atomic.Int32
+	attrs []attr
+}
+
 // Event is a set of named, typed attributes plus delivery metadata.
-// Events are value-like: Clone before mutation when sharing.
+// Attributes are stored inline, sorted by name: the common small event
+// (≤ InlineAttrs attributes) costs a single allocation for the Event
+// itself — or none at all when taken from the Pool — and larger events
+// spill to a copy-on-write heap slice. Events are value-like: Clone
+// before mutation when sharing.
 type Event struct {
 	// Sender identifies the publishing service.
 	Sender ident.ID
@@ -61,13 +89,19 @@ type Event struct {
 	// depends on clocks).
 	Stamp time.Time
 
-	attrs map[string]Value
+	n      int               // attribute count
+	inline [InlineAttrs]attr // storage while n <= InlineAttrs and spill == nil
+	spill  *spillStore       // storage once spilled; inline is then unused
+
+	// pooled/refs implement the recycled-event lifecycle (see pool.go).
+	// refs is a plain int32 updated with sync/atomic so that Event
+	// stays copyable (Clone copies the struct).
+	pooled bool
+	refs   int32
 }
 
 // New returns an empty event.
-func New() *Event {
-	return &Event{attrs: make(map[string]Value, 8)}
-}
+func New() *Event { return &Event{} }
 
 // NewTyped returns an event whose "type" attribute is set to class.
 func NewTyped(class string) *Event {
@@ -76,14 +110,129 @@ func NewTyped(class string) *Event {
 	return e
 }
 
+// attrs returns the live attribute slice (read-only use).
+func (e *Event) attrSlice() []attr {
+	if e.spill != nil {
+		return e.spill.attrs[:e.n]
+	}
+	return e.inline[:e.n]
+}
+
+// search returns the insertion index for name and whether an attribute
+// with that exact name is already present (binary search).
+func (e *Event) search(name string) (int, bool) {
+	s := e.attrSlice()
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo].name == name
+}
+
+// ensureOwned makes the event the sole owner of writable attribute
+// storage with room for at least one more attribute, copying a shared
+// or full spill store as needed (copy-on-write).
+func (e *Event) ensureOwned(grow bool) {
+	if e.spill == nil {
+		return
+	}
+	need := e.n
+	if grow {
+		need++
+	}
+	if e.spill.refs.Load() == 1 && cap(e.spill.attrs) >= need {
+		return
+	}
+	ns := &spillStore{attrs: make([]attr, e.n, spillCap(need))}
+	ns.refs.Store(1)
+	copy(ns.attrs, e.spill.attrs[:e.n])
+	e.dropSpill()
+	e.spill = ns
+}
+
+// spillCap picks the capacity of a fresh spill store.
+func spillCap(need int) int {
+	c := 2 * InlineAttrs
+	for c < need {
+		c *= 2
+	}
+	if c > MaxAttrs {
+		c = MaxAttrs
+	}
+	if c < need {
+		c = need
+	}
+	return c
+}
+
+// dropSpill releases the event's reference on its spill store.
+func (e *Event) dropSpill() {
+	if e.spill != nil {
+		e.spill.refs.Add(-1)
+		e.spill = nil
+	}
+}
+
 // Set stores an attribute, replacing any previous value under the name.
 // It returns the event to allow chaining.
 func (e *Event) Set(name string, v Value) *Event {
-	if e.attrs == nil {
-		e.attrs = make(map[string]Value, 8)
+	i, found := e.search(name)
+	if found {
+		if e.spill != nil {
+			e.ensureOwned(false)
+			e.spill.attrs[i].val = v
+		} else {
+			e.inline[i].val = v
+		}
+		return e
 	}
-	e.attrs[name] = v
+	e.insert(i, name, v)
 	return e
+}
+
+// Append appends an attribute whose name sorts strictly after every
+// attribute already present, skipping the binary search and the
+// insertion shift. It reports false — leaving the event unchanged —
+// when the name does not sort last; the caller falls back to Set.
+// Decoders producing name-sorted attribute streams (the wire format
+// encodes events in sorted order) use it to build events in O(n).
+func (e *Event) Append(name string, v Value) bool {
+	if e.n > 0 {
+		s := e.attrSlice()
+		if s[e.n-1].name >= name {
+			return false
+		}
+	}
+	e.insert(e.n, name, v)
+	return true
+}
+
+// insert places an attribute at sorted position i.
+func (e *Event) insert(i int, name string, v Value) {
+	switch {
+	case e.spill == nil && e.n < InlineAttrs:
+		copy(e.inline[i+1:e.n+1], e.inline[i:e.n])
+		e.inline[i] = attr{name: name, val: v}
+	case e.spill == nil:
+		// Inline array full: spill to the heap.
+		ns := &spillStore{attrs: make([]attr, e.n+1, spillCap(e.n+1))}
+		ns.refs.Store(1)
+		copy(ns.attrs, e.inline[:i])
+		ns.attrs[i] = attr{name: name, val: v}
+		copy(ns.attrs[i+1:], e.inline[i:e.n])
+		e.spill = ns
+	default:
+		e.ensureOwned(true)
+		e.spill.attrs = append(e.spill.attrs, attr{})
+		copy(e.spill.attrs[i+1:], e.spill.attrs[i:e.n])
+		e.spill.attrs[i] = attr{name: name, val: v}
+	}
+	e.n++
 }
 
 // SetInt is shorthand for Set(name, Int(v)).
@@ -102,29 +251,59 @@ func (e *Event) SetBool(name string, v bool) *Event { return e.Set(name, Bool(v)
 func (e *Event) SetBytes(name string, v []byte) *Event { return e.Set(name, Bytes(v)) }
 
 // Get returns the attribute value under name; the second result reports
-// whether it exists.
+// whether it exists. Lookup is a binary search over the sorted
+// attribute slice — O(log n) with no hashing.
 func (e *Event) Get(name string) (Value, bool) {
-	v, ok := e.attrs[name]
-	return v, ok
+	i, found := e.search(name)
+	if !found {
+		return Value{}, false
+	}
+	return e.attrSlice()[i].val, true
 }
 
 // Has reports whether the event carries an attribute under name.
 func (e *Event) Has(name string) bool {
-	_, ok := e.attrs[name]
-	return ok
+	_, found := e.search(name)
+	return found
 }
 
 // Delete removes the attribute under name if present.
 func (e *Event) Delete(name string) {
-	delete(e.attrs, name)
+	i, found := e.search(name)
+	if !found {
+		return
+	}
+	if e.spill != nil {
+		e.ensureOwned(false)
+		s := e.spill.attrs
+		copy(s[i:e.n-1], s[i+1:e.n])
+		s[e.n-1] = attr{}
+		e.spill.attrs = s[:e.n-1]
+	} else {
+		copy(e.inline[i:e.n-1], e.inline[i+1:e.n])
+		e.inline[e.n-1] = attr{}
+	}
+	e.n--
 }
 
 // Len reports the number of attributes.
-func (e *Event) Len() int { return len(e.attrs) }
+func (e *Event) Len() int { return e.n }
+
+// At returns the attribute at index i in sorted name order. It is the
+// hot-loop accessor: matching, sizing and encoding iterate with
+// Len/At instead of closure-based Range, touching no heap and
+// materialising no name slice. It panics when i is out of range.
+func (e *Event) At(i int) (name string, v Value) {
+	if i < 0 || i >= e.n {
+		panic("event: At index out of range")
+	}
+	a := &e.attrSlice()[i]
+	return a.name, a.val
+}
 
 // Type returns the "type" attribute if it is a string, else "".
 func (e *Event) Type() string {
-	v, ok := e.attrs[AttrType]
+	v, ok := e.Get(AttrType)
 	if !ok {
 		return ""
 	}
@@ -135,64 +314,46 @@ func (e *Event) Type() string {
 // Names returns the attribute names in sorted order. The slice is fresh
 // on every call.
 func (e *Event) Names() []string {
-	names := make([]string, 0, len(e.attrs))
-	for n := range e.attrs {
-		names = append(names, n)
+	s := e.attrSlice()
+	names := make([]string, len(s))
+	for i := range s {
+		names[i] = s[i].name
 	}
-	sort.Strings(names)
 	return names
 }
 
-// namesPool recycles the scratch name slices Range sorts into, keeping
-// ordered iteration allocation-free on the bus hot path.
-var namesPool = sync.Pool{New: func() interface{} {
-	s := make([]string, 0, 16)
-	return &s
-}}
-
 // Range calls fn for every attribute in sorted name order; if fn returns
-// false the iteration stops.
+// false the iteration stops. Attributes are stored sorted, so Range
+// never sorts or allocates; hot loops should still prefer Len/At,
+// which avoid the closure.
 func (e *Event) Range(fn func(name string, v Value) bool) {
-	np := namesPool.Get().(*[]string)
-	names := (*np)[:0]
-	for n := range e.attrs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		if !fn(n, e.attrs[n]) {
-			break
-		}
-	}
-	*np = names[:0]
-	namesPool.Put(np)
-}
-
-// RangeAny calls fn for every attribute in unspecified order; if fn
-// returns false the iteration stops. Unlike Range it never sorts or
-// allocates, so matching and sizing — which do not depend on attribute
-// order — can use it on the hot path.
-func (e *Event) RangeAny(fn func(name string, v Value) bool) {
-	for n, v := range e.attrs {
-		if !fn(n, v) {
+	s := e.attrSlice()
+	for i := range s {
+		if !fn(s[i].name, s[i].val) {
 			return
 		}
 	}
 }
 
-// Clone returns a deep copy of the event.
+// Clone returns a copy of the event that may be mutated independently.
+// The copy is lazy: inline attributes are copied as part of the struct
+// (no extra allocation), a spilled attribute store is shared
+// copy-on-write until either event next mutates it, and byte-slice
+// values keep sharing their backing arrays (Values are immutable
+// through the public API — Bytes copies on read). Clone is safe to
+// call concurrently on a shared, read-only event.
 func (e *Event) Clone() *Event {
 	cp := &Event{
 		Sender: e.Sender,
 		Seq:    e.Seq,
 		Stamp:  e.Stamp,
-		attrs:  make(map[string]Value, len(e.attrs)),
+		n:      e.n,
 	}
-	for n, v := range e.attrs {
-		if v.typ == TypeBytes {
-			v = Bytes(v.raw) // fresh backing array
-		}
-		cp.attrs[n] = v
+	if e.spill != nil {
+		e.spill.refs.Add(1)
+		cp.spill = e.spill
+	} else {
+		cp.inline = e.inline
 	}
 	return cp
 }
@@ -203,12 +364,12 @@ func (e *Event) Equal(o *Event) bool {
 	if e == nil || o == nil {
 		return e == o
 	}
-	if e.Sender != o.Sender || e.Seq != o.Seq || len(e.attrs) != len(o.attrs) {
+	if e.Sender != o.Sender || e.Seq != o.Seq || e.n != o.n {
 		return false
 	}
-	for n, v := range e.attrs {
-		ov, ok := o.attrs[n]
-		if !ok || !v.Equal(ov) {
+	es, os := e.attrSlice(), o.attrSlice()
+	for i := range es {
+		if es[i].name != os[i].name || !es[i].val.Equal(os[i].val) {
 			return false
 		}
 	}
@@ -217,15 +378,16 @@ func (e *Event) Equal(o *Event) bool {
 
 // Validate checks the event against the structural limits.
 func (e *Event) Validate() error {
-	if len(e.attrs) > MaxAttrs {
-		return fmt.Errorf("%w: %d > %d", ErrTooManyAttrs, len(e.attrs), MaxAttrs)
+	if e.n > MaxAttrs {
+		return fmt.Errorf("%w: %d > %d", ErrTooManyAttrs, e.n, MaxAttrs)
 	}
-	for n, v := range e.attrs {
-		if err := validateName(n); err != nil {
+	s := e.attrSlice()
+	for i := range s {
+		if err := validateName(s[i].name); err != nil {
 			return err
 		}
-		if err := validateValue(v); err != nil {
-			return fmt.Errorf("%w: attribute %q", err, n)
+		if err := validateValue(s[i].val); err != nil {
+			return fmt.Errorf("%w: attribute %q", err, s[i].name)
 		}
 	}
 	return nil

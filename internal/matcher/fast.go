@@ -403,10 +403,15 @@ func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 		}
 	}
 
-	e.RangeAny(func(name string, v event.Value) bool {
+	// One pass over the event's attributes via the index accessors —
+	// no closure, no name-slice materialisation (the inline event
+	// representation stores attributes sorted, so At is a direct
+	// array read).
+	for ei, en := 0, e.Len(); ei < en; ei++ {
+		name, v := e.At(ei)
 		ai, ok := m.index[name]
 		if !ok {
-			return true
+			continue
 		}
 		for _, ref := range ai.exists {
 			bump(ref)
@@ -444,8 +449,7 @@ func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 				bump(ref)
 			}
 		}
-		return true
-	})
+	}
 
 	for _, ff := range sc.matched {
 		if _, dup := sc.seen[ff.sub]; !dup {

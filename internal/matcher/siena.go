@@ -94,7 +94,12 @@ func translateValue(v event.Value) sienaValue {
 
 // translateEvent converts a bus event into a Siena notification: a
 // fresh map with every attribute boxed — the per-event translation cost
-// the dedicated matcher avoids.
+// the dedicated matcher avoids. Unlike the other matchers this loop is
+// deliberately NOT migrated to the Len/At accessors: its shape and its
+// allocations (fresh map, copied names, boxed values, closure
+// iteration) are the §V overhead under measurement and are preserved
+// verbatim (see TestSienaTranslationAllocsPinned and the ROADMAP
+// caveat — do not optimise without splitting flavours).
 func translateEvent(e *event.Event) sienaNotification {
 	n := make(sienaNotification, e.Len())
 	e.Range(func(name string, v event.Value) bool {

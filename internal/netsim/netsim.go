@@ -271,13 +271,14 @@ func (n *Network) scaled(d time.Duration) time.Duration {
 // Zero-delay deliveries happen inline so that a perfect link preserves
 // send order, as a real point-to-point link does.
 func (n *Network) scheduleLocked(from, to ident.ID, data []byte, delay time.Duration) {
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	dg := transport.NewPooledDatagram(from, data)
 	if delay <= 0 {
 		ep, ok := n.eps[to]
 		if ok {
 			n.stats.Delivered++
-			ep.enqueue(transport.Datagram{From: from, Data: cp})
+			ep.enqueue(dg)
+		} else {
+			dg.Recycle()
 		}
 		return
 	}
@@ -291,7 +292,9 @@ func (n *Network) scheduleLocked(from, to ident.ID, data []byte, delay time.Dura
 		}
 		n.mu.Unlock()
 		if ok {
-			ep.enqueue(transport.Datagram{From: from, Data: cp})
+			ep.enqueue(dg)
+		} else {
+			dg.Recycle()
 		}
 	})
 }
@@ -331,9 +334,11 @@ func (e *Endpoint) Send(dst ident.ID, data []byte) error {
 func (e *Endpoint) enqueue(d transport.Datagram) {
 	select {
 	case <-e.closed:
+		d.Recycle()
 	case e.queue <- d:
 	default:
 		// Receive-buffer overflow: drop.
+		d.Recycle()
 	}
 }
 

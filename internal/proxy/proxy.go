@@ -229,18 +229,23 @@ func (p *Proxy) Start() {
 
 // Enqueue appends an outbound event to the FIFO queue. The event may be
 // shared with other subscribers' proxies and must not be mutated (the
-// bus dispatches one immutable event to every match). When the queue is
-// full the oldest event is dropped (bounded memory); this is counted in
-// Stats.DroppedOldest.
+// bus dispatches one immutable event to every match); the proxy takes
+// its own reference for pool-managed events and releases it once the
+// event has been translated for the wire (or dropped). When the queue
+// is full the oldest event is dropped (bounded memory); this is counted
+// in Stats.DroppedOldest.
 func (p *Proxy) Enqueue(e *event.Event) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
 		return
 	}
+	e.Retain()
 	if len(p.queue) >= p.cfg.QueueCap {
+		dropped := p.queue[0]
 		p.queue = p.queue[1:]
 		p.stats.DroppedOldest++
+		dropped.Release()
 	}
 	p.queue = append(p.queue, e)
 	p.stats.Enqueued++
@@ -300,6 +305,9 @@ func (p *Proxy) Purge() {
 	}
 	p.stopped = true
 	p.stats.DiscardedOnPurge += uint64(len(p.queue))
+	for _, e := range p.queue {
+		e.Release()
+	}
 	p.queue = nil
 	p.mu.Unlock()
 	close(p.stop)
@@ -347,38 +355,20 @@ var encBufPool = sync.Pool{New: func() interface{} {
 
 // deliverOne pushes one event to the device, retrying after reliable
 // failures until success or purge. It reports false when the proxy was
-// stopped.
+// stopped. Translation, the pooled-event release and the encode-buffer
+// lifecycle all live in translateOut — shared with the pipelined loop —
+// so there is exactly one release path.
 func (p *Proxy) deliverOne(e *event.Event) bool {
-	var (
-		ptype   wire.PacketType
-		payload []byte
-	)
-	if p.cloneOut {
-		e = e.Clone() // device mutates events; shed the shared copy
-	}
-	raw, ok, err := p.dev.TranslateOut(e)
-	switch {
-	case err != nil:
+	it, ok := p.translateOut(e)
+	if !ok {
 		// A translation error is a device-specific malfunction: the
 		// event cannot ever be delivered; drop it.
 		return true
-	case ok:
-		ptype, payload = wire.PktData, raw
-		p.mu.Lock()
-		p.stats.TranslatedOut++
-		p.mu.Unlock()
-	default:
-		bp := encBufPool.Get().(*[]byte)
-		payload = wire.AppendEvent((*bp)[:0], e)
-		defer func() {
-			*bp = payload[:0]
-			encBufPool.Put(bp)
-		}()
-		ptype = wire.PktEvent
 	}
+	defer p.releaseItem(it)
 
 	for {
-		err := p.sender.Send(p.member, ptype, payload)
+		err := p.sender.Send(p.member, it.ptype, it.payload)
 		if err == nil {
 			p.mu.Lock()
 			p.stats.Delivered++
@@ -421,13 +411,17 @@ func (p *Proxy) releaseItem(it outItem) {
 	}
 }
 
-// translateOut converts one queued event into its wire form. ok=false
-// means the event is dropped (device-specific translation failure).
+// translateOut converts one queued event into its wire form, releasing
+// the proxy's reference on the event once the payload is built.
+// ok=false means the event is dropped (device-specific translation
+// failure).
 func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
+	defer e.Release()
+	src := e
 	if p.cloneOut {
-		e = e.Clone() // device mutates events; shed the shared copy
+		src = e.Clone() // device mutates events; shed the shared copy
 	}
-	raw, ok, err := p.dev.TranslateOut(e)
+	raw, ok, err := p.dev.TranslateOut(src)
 	switch {
 	case err != nil:
 		return outItem{}, false
@@ -438,7 +432,7 @@ func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
 		return outItem{ptype: wire.PktData, payload: raw}, true
 	default:
 		bp := encBufPool.Get().(*[]byte)
-		payload := wire.AppendEvent((*bp)[:0], e)
+		payload := wire.AppendEvent((*bp)[:0], src)
 		*bp = payload
 		return outItem{ptype: wire.PktEvent, payload: payload, bufp: bp}, true
 	}

@@ -71,6 +71,13 @@ type Stats struct {
 	StaleEpoch      uint64
 	UnreliableIn    uint64
 	UnreliableOut   uint64
+	// PacketsAcquired/PacketsRecycled expose the inbound packet pool:
+	// every received packet is decoded into a pooled wire.Packet that
+	// the consumer releases after delivery. On a quiesced channel the
+	// two converge; a growing gap means a consumer is dropping packets
+	// without Release (a pool leak — see TestPacketPoolLeakDetection).
+	PacketsAcquired uint64
+	PacketsRecycled uint64
 }
 
 // counters is the hot-path representation of Stats.
@@ -82,8 +89,11 @@ type counters struct {
 	unreliableIn, unreliableOut               atomic.Uint64
 }
 
-func (c *counters) snapshot() Stats {
+func (c *counters) snapshot(pool *wire.PacketPool) Stats {
+	acq, rec := pool.Stats()
 	return Stats{
+		PacketsAcquired: acq,
+		PacketsRecycled: rec,
 		Sent:            c.sent.Load(),
 		Acked:           c.acked.Load(),
 		Retransmits:     c.retransmits.Load(),
@@ -237,6 +247,11 @@ type Channel struct {
 	cfg Config
 	ctr counters
 
+	// pktPool recycles inbound packets: the receive loop decodes every
+	// datagram into a pooled packet (no per-packet struct or payload
+	// clone allocation) and the consumer releases it after delivery.
+	pktPool *wire.PacketPool
+
 	mu     sync.Mutex
 	dests  map[ident.ID]*destState
 	epochs map[ident.ID]byte // outbound epoch floor surviving Forget
@@ -283,6 +298,7 @@ func New(tr transport.Transport, cfg Config) *Channel {
 	c := &Channel{
 		tr:      tr,
 		cfg:     cfg,
+		pktPool: wire.NewPacketPool(),
 		dests:   make(map[ident.ID]*destState),
 		rst:     make(map[ident.ID]*recvState),
 		epochs:  make(map[ident.ID]byte),
@@ -298,7 +314,7 @@ func New(tr transport.Transport, cfg Config) *Channel {
 func (c *Channel) LocalID() ident.ID { return c.tr.LocalID() }
 
 // Stats returns a snapshot of the counters.
-func (c *Channel) Stats() Stats { return c.ctr.snapshot() }
+func (c *Channel) Stats() Stats { return c.ctr.snapshot(c.pktPool) }
 
 // Send transmits a reliable packet of the given type and payload to dst
 // and blocks until the destination acknowledges it or the retry budget
@@ -625,7 +641,12 @@ func (c *Channel) SendUnreliable(dst ident.ID, ptype wire.PacketType, payload []
 
 // Recv blocks for the next delivered packet. Reliable packets have been
 // acknowledged, deduplicated and reordered into per-sender sequence
-// order; unreliable ones are passed through.
+// order; unreliable ones are passed through. Packets come from the
+// channel's inbound pool: a consumer that calls pkt.Release once done
+// (after fully decoding or copying the payload) recycles the packet,
+// keeping the steady-state receive path allocation-free. Not releasing
+// is safe — the packet just falls to the garbage collector — but shows
+// up as an acquired/recycled gap in Stats.
 func (c *Channel) Recv() (*wire.Packet, error) {
 	select {
 	case p := <-c.inbound:
@@ -666,7 +687,12 @@ func (c *Channel) RecvTimeout(d time.Duration) (*wire.Packet, error) {
 // fresh epoch, so stragglers of the old stream cannot pollute it.
 func (c *Channel) Forget(id ident.ID) {
 	c.rmu.Lock()
-	delete(c.rst, id)
+	if st := c.rst[id]; st != nil {
+		for _, parked := range st.buf {
+			parked.Release()
+		}
+		delete(c.rst, id)
+	}
 	c.rmu.Unlock()
 	c.mu.Lock()
 	ds := c.dests[id]
@@ -715,6 +741,17 @@ func (c *Channel) Close() error {
 	}
 	err := c.tr.Close()
 	c.wg.Wait()
+	// The receive loop has exited: packets parked in reorder buffers
+	// can never be delivered now, so recycle them — a well-behaved
+	// consumer that drains Recv then sees acquired == recycled.
+	c.rmu.Lock()
+	for _, st := range c.rst {
+		for seq, parked := range st.buf {
+			delete(st.buf, seq)
+			parked.Release()
+		}
+	}
+	c.rmu.Unlock()
 	return err
 }
 
@@ -725,7 +762,11 @@ func (c *Channel) recvLoop() {
 		if err != nil {
 			return
 		}
-		pkt, err := wire.Unmarshal(dg.Data)
+		// Pooled decode: the packet copies the payload into its own
+		// reusable buffer, so the datagram buffer goes straight back
+		// to the transport pool and no per-packet allocation remains.
+		pkt, err := c.pktPool.Unmarshal(dg.Data)
+		dg.Recycle()
 		if err != nil {
 			// Corrupted or foreign datagram: drop silently, as a
 			// datagram network must tolerate.
@@ -739,9 +780,9 @@ func (c *Channel) handle(pkt *wire.Packet) {
 	switch {
 	case pkt.Type == wire.PktAck:
 		c.handleAck(pkt)
+		pkt.Release()
 	case pkt.Flags&wire.FlagNoAck != 0:
 		c.ctr.unreliableIn.Add(1)
-		pkt.ClonePayload()
 		c.deliver(pkt)
 	default:
 		c.handleData(pkt)
@@ -812,31 +853,40 @@ func epochNewer(a, b byte) bool {
 // reorder buffer, strictly in-order release to Recv, and a cumulative
 // acknowledgement back to the sender.
 func (c *Channel) handleData(pkt *wire.Packet) {
+	// Capture the sender before the switch: delivering or releasing
+	// the pooled packet hands ownership away, so its fields must not
+	// be read afterwards.
+	sender := pkt.Sender
 	c.rmu.Lock()
-	st, ok := c.rst[pkt.Sender]
+	st, ok := c.rst[sender]
 	if !ok {
 		// First contact with this sender (or first after Forget).
 		st = &recvState{epoch: pkt.Epoch}
-		c.rst[pkt.Sender] = st
+		c.rst[sender] = st
 	}
 	if pkt.Epoch != st.epoch {
 		if epochNewer(pkt.Epoch, st.epoch) {
 			// The sender restarted its stream; reset streams always
-			// renumber from 1, so expect exactly that.
+			// renumber from 1, so expect exactly that. Parked packets
+			// of the dead epoch go back to the pool.
 			st.epoch = pkt.Epoch
 			st.cum = 0
-			st.buf = nil
+			for seq, parked := range st.buf {
+				delete(st.buf, seq)
+				parked.Release()
+			}
 		} else {
 			c.ctr.staleEpoch.Add(1)
 			c.rmu.Unlock()
+			pkt.Release()
 			return
 		}
 	}
 	switch {
 	case pkt.Seq <= st.cum:
 		c.ctr.dupsDropped.Add(1)
+		pkt.Release()
 	case pkt.Seq == st.cum+1:
-		pkt.ClonePayload()
 		c.deliver(pkt)
 		st.cum++
 		c.ctr.received.Add(1)
@@ -856,18 +906,20 @@ func (c *Channel) handleData(pkt *wire.Packet) {
 		}
 		if _, dup := st.buf[pkt.Seq]; dup {
 			c.ctr.dupsDropped.Add(1)
+			pkt.Release()
 		} else if len(st.buf) < c.cfg.ReorderDepth {
-			pkt.ClonePayload()
 			st.buf[pkt.Seq] = pkt
 			c.ctr.buffered.Add(1)
+		} else {
+			// Buffer full — drop; sender retransmission recovers.
+			pkt.Release()
 		}
-		// else: buffer full — drop; sender retransmission recovers.
 	}
 	epoch, cum := st.epoch, st.cum
 	c.rmu.Unlock()
 	// Always (re-)acknowledge, including for duplicates: the sender
 	// may have missed the previous ack.
-	c.sendAck(pkt.Sender, epoch, cum)
+	c.sendAck(sender, epoch, cum)
 }
 
 // sendAck emits a cumulative acknowledgement covering every packet of
@@ -893,9 +945,11 @@ func (c *Channel) deliver(pkt *wire.Packet) {
 	select {
 	case c.inbound <- pkt:
 	case <-c.done:
+		pkt.Release()
 	default:
 		// Inbound overflow: drop. The sender has already been acked;
 		// this models the bounded memory of the target platform.
 		// Sized queues make this effectively unreachable in tests.
+		pkt.Release()
 	}
 }

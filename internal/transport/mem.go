@@ -97,7 +97,7 @@ func (s *Switch) deliver(from, dst ident.ID, data []byte) error {
 			if id == from {
 				continue
 			}
-			ep.enqueue(Datagram{From: from, Data: cloneBytes(data)})
+			ep.enqueue(pooledDatagram(from, data))
 		}
 		return nil
 	}
@@ -111,7 +111,7 @@ func (s *Switch) deliver(from, dst ident.ID, data []byte) error {
 			return nil
 		}
 		if delay > 0 {
-			cp := cloneBytes(data)
+			dg := pooledDatagram(from, data)
 			s.timers.Add(1)
 			time.AfterFunc(delay, func() {
 				defer s.timers.Done()
@@ -119,23 +119,19 @@ func (s *Switch) deliver(from, dst ident.ID, data []byte) error {
 				late, ok := s.endpoints[dst]
 				s.mu.RUnlock()
 				if ok {
-					late.enqueue(Datagram{From: from, Data: cp})
+					late.enqueue(dg)
+				} else {
+					dg.Recycle()
 				}
 			})
 			return nil
 		}
 	}
-	ep.enqueue(Datagram{From: from, Data: cloneBytes(data)})
+	ep.enqueue(pooledDatagram(from, data))
 	return nil
 }
 
 const defaultQueueDepth = 4096
-
-func cloneBytes(b []byte) []byte {
-	cp := make([]byte, len(b))
-	copy(cp, b)
-	return cp
-}
 
 // MemTransport is one endpoint on a Switch.
 type MemTransport struct {
@@ -166,10 +162,12 @@ func (t *MemTransport) Send(dst ident.ID, data []byte) error {
 func (t *MemTransport) enqueue(d Datagram) {
 	select {
 	case <-t.closed:
+		d.Recycle()
 	case t.queue <- d:
 	default:
 		// Queue overflow models receive-buffer drops: datagram
 		// transports are allowed to lose packets under load.
+		d.Recycle()
 	}
 }
 

@@ -12,10 +12,16 @@ import (
 	"github.com/amuse/smc/internal/ident"
 )
 
-// Datagram is one received byte array together with its source.
+// Datagram is one received byte array together with its source. The
+// receiver owns Data; if the transport drew it from the shared buffer
+// pool, the owner may hand it back with Recycle once done.
 type Datagram struct {
 	From ident.ID
 	Data []byte
+
+	// bufp is the pool handle when Data is a pooled buffer (see
+	// bufpool.go); nil otherwise.
+	bufp *[]byte
 }
 
 // Transport carries byte arrays between services. Implementations must

@@ -134,14 +134,15 @@ func (t *UDPTransport) readLoop() {
 		if err != nil {
 			continue
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
+		dg := pooledDatagram(id, buf[:n])
 		select {
-		case t.queue <- Datagram{From: id, Data: data}:
+		case t.queue <- dg:
 		case <-t.done:
+			dg.Recycle()
 			return
 		default:
 			// Receive overflow: drop, as real UDP does.
+			dg.Recycle()
 		}
 	}
 }

@@ -181,7 +181,8 @@ func readValue(r *reader) (event.Value, error) {
 // pairs in sorted name order (deterministic encoding). The origin
 // fields travel with the event so that per-sender ordering and identity
 // survive relaying through the bus (§II-C defines ordering per original
-// sending component).
+// sending component). Events store attributes name-sorted, so the
+// encoder is a straight index loop — no sort, no closure.
 func AppendEvent(dst []byte, e *event.Event) []byte {
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], uint64(e.Sender))
@@ -192,11 +193,11 @@ func AppendEvent(dst []byte, e *event.Event) []byte {
 	dst = append(dst, tmp[:]...)
 	binary.BigEndian.PutUint16(tmp[:2], uint16(e.Len()))
 	dst = append(dst, tmp[:2]...)
-	e.Range(func(name string, v event.Value) bool {
+	for i, n := 0, e.Len(); i < n; i++ {
+		name, v := e.At(i)
 		dst = appendString(dst, name)
 		dst = AppendValue(dst, v)
-		return true
-	})
+	}
 	return dst
 }
 
@@ -241,7 +242,13 @@ func DecodeEvent(buf []byte) (*event.Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.Set(name, v)
+		// Our encoder writes attributes in sorted name order, so the
+		// append fast path builds the inline form with no searching or
+		// shifting; a foreign encoder's unsorted (or duplicated) names
+		// fall back to the general insert.
+		if !e.Append(name, v) {
+			e.Set(name, v)
+		}
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, r.remaining())

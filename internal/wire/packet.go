@@ -159,6 +159,16 @@ type Packet struct {
 	Sender  ident.ID
 	Seq     uint64
 	Payload []byte
+
+	// Pooled lifecycle (see PacketPool). pool is nil for packets built
+	// by hand or by the plain Unmarshal, making Retain/Release no-ops
+	// for them. buf is the packet-owned payload buffer a pooled decode
+	// copies into; it survives recycling so steady-state receive pays
+	// no per-packet allocation. refs is a plain int32 updated with
+	// sync/atomic so Packet stays a plain-old-data struct.
+	pool *PacketPool
+	buf  []byte
+	refs int32
 }
 
 // EncodedLen reports the encoded size of the packet.
@@ -196,38 +206,48 @@ func (p *Packet) MarshalBytes() ([]byte, error) {
 }
 
 // Unmarshal decodes a packet from buf. The payload aliases buf; callers
-// that retain the packet beyond the life of buf must copy it.
+// that retain the packet beyond the life of buf must copy it. For the
+// allocation-free receive path see PacketPool.Unmarshal.
 func Unmarshal(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := unmarshalInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// unmarshalInto validates buf and fills p's header fields, leaving
+// p.Payload aliasing buf. It allocates nothing.
+func unmarshalInto(p *Packet, buf []byte) error {
 	if len(buf) < HeaderLen+TrailerLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(buf))
+		return fmt.Errorf("%w: %d bytes", ErrShortPacket, len(buf))
 	}
 	if buf[0] != magic[0] || buf[1] != magic[1] {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if buf[2] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+		return fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
 	}
 	plen := int(binary.BigEndian.Uint32(buf[20:24]))
 	if plen > MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, plen)
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, plen)
 	}
 	total := HeaderLen + plen + TrailerLen
 	if len(buf) < total {
-		return nil, fmt.Errorf("%w: have %d want %d", ErrShortPacket, len(buf), total)
+		return fmt.Errorf("%w: have %d want %d", ErrShortPacket, len(buf), total)
 	}
 	want := binary.BigEndian.Uint32(buf[HeaderLen+plen : total])
 	got := crc32.ChecksumIEEE(buf[:HeaderLen+plen])
 	if want != got {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	return &Packet{
-		Type:    PacketType(buf[3]),
-		Flags:   buf[4],
-		Epoch:   buf[5],
-		Sender:  getID48(buf[6:12]),
-		Seq:     binary.BigEndian.Uint64(buf[12:20]),
-		Payload: buf[HeaderLen : HeaderLen+plen],
-	}, nil
+	p.Type = PacketType(buf[3])
+	p.Flags = buf[4]
+	p.Epoch = buf[5]
+	p.Sender = getID48(buf[6:12])
+	p.Seq = binary.BigEndian.Uint64(buf[12:20])
+	p.Payload = buf[HeaderLen : HeaderLen+plen]
+	return nil
 }
 
 // PatchHeader rewrites the flags, epoch and sequence number of an

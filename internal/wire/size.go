@@ -37,9 +37,9 @@ func ValueSize(v event.Value) int {
 func EventSize(e *event.Event) int {
 	// Sender (8) + seq (8) + stamp (8) + attribute count (2).
 	n := 26
-	e.RangeAny(func(name string, v event.Value) bool {
+	for i, cnt := 0, e.Len(); i < cnt; i++ {
+		name, v := e.At(i)
 		n += uvarintLen(uint64(len(name))) + len(name) + ValueSize(v)
-		return true
-	})
+	}
 	return n
 }

@@ -80,6 +80,10 @@ var (
 	NewEvent = event.New
 	// NewTypedEvent returns an event with the "type" attribute set.
 	NewTypedEvent = event.NewTyped
+	// AcquireEvent returns a recycled event from the free list for the
+	// zero-allocation publish path; see event.Acquire for the
+	// release/retention contract.
+	AcquireEvent = event.Acquire
 	// NewFilter returns an empty filter (matches everything).
 	NewFilter = event.NewFilter
 	// Int, Float, Str, Bool and Bytes build attribute values.
