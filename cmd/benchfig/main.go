@@ -17,15 +17,29 @@
 // required ratio (e.g. windowed ≥2× stop-and-wait) is not met:
 //
 //	go test -run '^$' -bench ... | tee bench.txt
-//	benchfig -gate bench.txt -baseline BENCH_PR2.json -gate-out bench.json
+//	benchfig -gate bench.txt -baseline BENCH_PR4.json -gate-out bench.json
+//
+// A third mode measures shard scaling: `benchfig -cpus` reruns the bus
+// hot-path benchmark under GOMAXPROCS 1, 2 and 4 (via `go test -cpu`)
+// and prints shards=1 vs shards=N throughput per processor count — the
+// sweep the ROADMAP calls for before believing any shard-scalability
+// claim. On a single-hardware-CPU host it says so: oversubscribed
+// GOMAXPROCS on one core measures scheduling overhead, not parallel
+// speedup.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/amuse/smc/internal/bench"
 )
@@ -35,10 +49,18 @@ func main() {
 		fig      = flag.String("fig", "all", "figure to regenerate: 4a, 4b, link, fanout, quench, redelivery, all")
 		full     = flag.Bool("full", false, "figure-quality sweep (slower); default is a quick sweep")
 		gate     = flag.String("gate", "", "gate mode: path to `go test -bench` output (\"-\" for stdin)")
-		baseline = flag.String("baseline", "BENCH_PR3.json", "gate mode: committed baseline JSON with a \"gate\" section")
+		baseline = flag.String("baseline", "BENCH_PR4.json", "gate mode: committed baseline JSON with a \"gate\" section")
 		gateOut  = flag.String("gate-out", "", "gate mode: write the machine-readable report JSON here")
+		cpus     = flag.Bool("cpus", false, "shard-scaling mode: run BenchmarkBusHotPath under -cpu 1,2,4 and compare shards=1 vs shards=GOMAXPROCS")
 	)
 	flag.Parse()
+	if *cpus {
+		if err := runCPUSweep(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *gate != "" {
 		if err := runGate(*gate, *baseline, *gateOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchfig:", err)
@@ -50,6 +72,81 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
+}
+
+// runCPUSweep executes the bus hot-path benchmark at 8-subscriber
+// local fan-out across GOMAXPROCS=1,2,4 and prints an events/sec table
+// per (GOMAXPROCS, shards) point plus the shards=N / shards=1 speedup.
+func runCPUSweep() error {
+	fmt.Fprintf(os.Stderr, "running BenchmarkBusHotPath under -cpu 1,2,4 (hardware CPUs: %d)...\n", runtime.NumCPU())
+	// One `go test` invocation per -cpu value: sub-benchmark discovery
+	// runs shardCounts() under that GOMAXPROCS, so the shards=GOMAXPROCS
+	// point exists at every processor count (a single -cpu 1,2,4 run
+	// discovers the tree once, under the first value only). The loop
+	// variable already identifies the processor count, so the standard
+	// suffix-stripping parser does.
+	type point struct{ procs, shards int }
+	values := make(map[point]float64)
+	procsSeen := []int{1, 2, 4}
+	for _, procs := range procsSeen {
+		cmd := exec.Command("go", "test", "./internal/bus", "-run", "^$",
+			"-bench", "BenchmarkBusHotPath/delivery=local/fanout=8", "-benchtime", "1s",
+			"-cpu", strconv.Itoa(procs))
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -cpu %d: %w", procs, err)
+		}
+		meas, err := bench.ParseGoBench(bytes.NewReader(out))
+		if err != nil {
+			return fmt.Errorf("parse bench output: %w", err)
+		}
+		for name, m := range meas {
+			j := strings.LastIndex(name, "shards=")
+			if j < 0 {
+				continue
+			}
+			shards, err := strconv.Atoi(name[j+len("shards="):])
+			if err != nil {
+				continue
+			}
+			values[point{procs, shards}] = m.Metrics["events/sec"]
+		}
+	}
+	if len(values) == 0 {
+		return fmt.Errorf("no benchmark results")
+	}
+
+	fmt.Printf("# shard scaling sweep: BenchmarkBusHotPath/delivery=local/fanout=8 (events/sec)\n")
+	fmt.Printf("# hardware CPUs: %d\n", runtime.NumCPU())
+	for _, procs := range procsSeen {
+		var shardsSeen []int
+		for pt := range values {
+			if pt.procs == procs {
+				shardsSeen = append(shardsSeen, pt.shards)
+			}
+		}
+		sort.Ints(shardsSeen)
+		for _, s := range shardsSeen {
+			fmt.Printf("GOMAXPROCS=%d shards=%d %.0f\n", procs, s, values[point{procs, s}])
+		}
+		base, hasBase := values[point{procs, 1}]
+		best, bestShards := 0.0, 0
+		for _, s := range shardsSeen {
+			if s != 1 && values[point{procs, s}] > best {
+				best, bestShards = values[point{procs, s}], s
+			}
+		}
+		if hasBase && base > 0 && bestShards != 0 {
+			fmt.Printf("GOMAXPROCS=%d speedup shards=%d/shards=1: %.2fx\n", procs, bestShards, best/base)
+		}
+	}
+	if runtime.NumCPU() == 1 {
+		fmt.Printf("# NOTE: single hardware CPU — GOMAXPROCS>1 points oversubscribe one core\n")
+		fmt.Printf("# and measure scheduling overhead, not parallel speedup. Re-run on a\n")
+		fmt.Printf("# multi-core host before drawing shard-scalability conclusions.\n")
+	}
+	return nil
 }
 
 func runGate(benchPath, baselinePath, outPath string) error {

@@ -98,6 +98,7 @@ func run() error {
 		case e := <-dev.Client.Events():
 			count++
 			fmt.Printf("%s %s", time.Now().Format("15:04:05.000"), renderEvent(e))
+			e.Release() // delivered events are pooled borrowing decodes
 		}
 	}
 }

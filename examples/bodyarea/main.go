@@ -144,6 +144,7 @@ func run() error {
 	}
 	src, _ := alarm.Get("source")
 	fmt.Printf("ALARM received at monitor: source=%s\n", src)
+	alarm.Release() // delivered events are pooled borrowing decodes
 
 	// The defibrillator should receive its analyse command shortly.
 	deadline := time.Now().Add(10 * time.Second)

@@ -110,6 +110,7 @@ obligation hr-high {
 	from, _ := e.Get(smc.AttrFederatedFrom)
 	src, _ := e.Get("source")
 	fmt.Printf("nurse station received alarm: source=%s federated-from=%s\n", src, from)
+	e.Release() // delivered events are pooled borrowing decodes
 
 	if _, err := nurse.Client.NextEvent(400 * time.Millisecond); err == nil {
 		return fmt.Errorf("raw reading leaked across the federation boundary")

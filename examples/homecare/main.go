@@ -122,6 +122,7 @@ func run() error {
 		}
 		v, _ := e.Get("n")
 		n, _ := v.Int()
+		e.Release() // delivered events are pooled borrowing decodes
 		if n != want {
 			return fmt.Errorf("ping %d arrived out of order (want %d)", n, want)
 		}

@@ -88,6 +88,7 @@ func run() error {
 	}
 	v, _ := e.Get("value")
 	fmt.Printf("monitor received: %s from %s (value=%s)\n", e.Type(), e.Sender, v)
+	e.Release() // delivered events are pooled borrowing decodes
 
 	if _, err := monitor.Client.NextEvent(300 * time.Millisecond); err == nil {
 		return fmt.Errorf("unexpected second delivery")

@@ -133,10 +133,12 @@ func AblationRedelivery(opt Options) (Result, error) {
 	received := 0
 	var firstErr error
 	for received < total {
-		if _, err := sub.NextEvent(20 * time.Second); err != nil {
+		ev, err := sub.NextEvent(20 * time.Second)
+		if err != nil {
 			firstErr = err
 			break
 		}
+		ev.Release()
 		received++
 	}
 	px := env.Bus.MemberProxy(sub.ID())

@@ -23,6 +23,13 @@ const (
 	benchBusAddr = 0xB100
 )
 
+func init() {
+	// Pre-intern the measurement vocabulary so the receive path decodes
+	// bench events allocation-free from the first packet — the same
+	// one-liner a real deployment with a known event schema would use.
+	event.Intern(benchType, payloadAttr)
+}
+
 // relConfig is tuned for the simulated wireless profiles: short
 // retries, generous budget. window ≤ 0 keeps the reliable default.
 func relConfig(window int) reliable.Config {
@@ -158,9 +165,13 @@ func (e *Env) StreamAsync(payload, count, inflight int, timeout time.Duration) (
 	start := time.Now()
 	errc := make(chan error, 1)
 	go func() {
+		// One reusable event: PublishAsync encodes synchronously, so
+		// the same event (and payload backing) serves every send —
+		// the publisher side of the zero-alloc pipeline.
+		src := benchEvent(payload)
 		var pending []*reliable.Completion
 		for i := 0; i < count; i++ {
-			comp, err := e.Pub.PublishAsync(benchEvent(payload))
+			comp, err := e.Pub.PublishAsync(src)
 			if err != nil {
 				errc <- fmt.Errorf("publish %d: %w", i, err)
 				return
@@ -171,6 +182,7 @@ func (e *Env) StreamAsync(payload, count, inflight int, timeout time.Duration) (
 					errc <- fmt.Errorf("ack %d: %w", i, err)
 					return
 				}
+				pending[0].Recycle()
 				pending = pending[1:]
 			}
 		}
@@ -179,13 +191,16 @@ func (e *Env) StreamAsync(payload, count, inflight int, timeout time.Duration) (
 				errc <- fmt.Errorf("drain ack: %w", err)
 				return
 			}
+			c.Recycle()
 		}
 		errc <- nil
 	}()
 	for recvd := 0; recvd < count; recvd++ {
-		if _, err := sub.NextEvent(timeout); err != nil {
+		e, err := sub.NextEvent(timeout)
+		if err != nil {
 			return 0, fmt.Errorf("receive %d: %w", recvd, err)
 		}
+		e.Release() // recycle the borrowing decode and its packet
 	}
 	if err := <-errc; err != nil {
 		return 0, err
@@ -207,9 +222,11 @@ func (e *Env) PublishAndWait(payload int, timeout time.Duration) (time.Duration,
 		return 0, fmt.Errorf("publish: %w", err)
 	}
 	for _, s := range e.Subs {
-		if _, err := s.NextEvent(timeout); err != nil {
+		ev, err := s.NextEvent(timeout)
+		if err != nil {
 			return 0, fmt.Errorf("subscriber wait: %w", err)
 		}
+		ev.Release()
 	}
 	return time.Since(start), nil
 }
@@ -238,16 +255,20 @@ func (e *Env) Throughput(payload int, duration time.Duration, window int) (float
 		if sent == recvd {
 			continue
 		}
-		if _, err := sub.NextEvent(10 * time.Second); err != nil {
+		ev, err := sub.NextEvent(10 * time.Second)
+		if err != nil {
 			return 0, recvd, fmt.Errorf("receive %d: %w", recvd, err)
 		}
+		ev.Release()
 		recvd++
 	}
 	// Drain what is still in flight so the numbers are exact.
 	for recvd < sent {
-		if _, err := sub.NextEvent(10 * time.Second); err != nil {
+		ev, err := sub.NextEvent(10 * time.Second)
+		if err != nil {
 			return 0, recvd, fmt.Errorf("drain %d: %w", recvd, err)
 		}
+		ev.Release()
 		recvd++
 	}
 	elapsed := time.Since(start)

@@ -525,9 +525,10 @@ func (b *Bus) recvFrom(ch *reliable.Channel) {
 			return
 		}
 		b.handlePacket(pkt)
-		// Every handler fully decodes (copies) what it keeps from the
-		// payload before returning, so the pooled packet can recycle
-		// here — the end of the bus's inbound packet lifecycle.
+		// Drop the receive loop's reference. This is NOT necessarily
+		// the last one: the borrowing event decode retains the packet
+		// and aliases its payload into the decoded event, so the
+		// buffer stays live until dispatch releases that event.
 		pkt.Release()
 	}
 }
@@ -554,8 +555,16 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 		b.ctr.nonMember.Add(1)
 		return
 	}
-	e, err := wire.DecodeEvent(pkt.Payload)
-	if err != nil {
+	// Borrowing decode into a pooled event: attribute names resolve
+	// through the intern table or alias the packet payload (the event
+	// holds a packet reference until its own storage is reclaimed), so
+	// the deliver-and-drop path copies no strings. Downstream this
+	// means remote-published events follow the pooled-event contract
+	// local pooled publishes already set: subscribers Clone whatever
+	// they keep past the handler callback.
+	e := event.Acquire()
+	if err := wire.DecodeEventInto(e, pkt); err != nil {
+		e.Release()
 		b.ctr.badPackets.Add(1)
 		return
 	}
@@ -567,11 +576,13 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 	}
 	if b.auth != nil {
 		if err := b.auth.AuthorizePublish(pkt.Sender, ms.deviceType, e); err != nil {
+			e.Release()
 			b.ctr.authDenied.Add(1)
 			return
 		}
 	}
 	if err := b.enqueuePublish(e); err != nil {
+		e.Release()
 		if errors.Is(err, ErrBusy) {
 			b.ctr.dropped.Add(1) // overload, not corruption
 		} else {

@@ -1,0 +1,72 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/netsim"
+	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// TestReceivedEventReleaseRecyclesPackets: events handed out by
+// Events/NextEvent are pooled borrowing decodes; a consumer that
+// Releases them returns both the event and its backing packet to their
+// pools, so the client-side receive path leaks nothing (acquired ==
+// recycled on the quiesced channel).
+func TestReceivedEventReleaseRecyclesPackets(t *testing.T) {
+	n := netsim.New(netsim.Perfect, netsim.WithSeed(5))
+	defer n.Close()
+	busTr, err := n.Attach(ident.New(0xB001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliTr, err := n.Attach(ident.New(0xC001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := reliable.Config{RetryTimeout: 20 * time.Millisecond, MaxRetries: 10}
+	busCh := reliable.New(busTr, cfg)
+	defer busCh.Close()
+	c := New(reliable.New(cliTr, cfg), ident.New(0xB001))
+	defer c.Close()
+
+	for i := 0; i < 32; i++ {
+		src := event.New()
+		src.Sender = ident.New(0xB001)
+		src.Seq = uint64(i + 1)
+		src.SetStr(event.AttrType, "borrow-client")
+		src.SetStr("zz-client-borrow", fmt.Sprintf("payload-%04d", i))
+		if err := busCh.Send(ident.New(0xC001), wire.PktEvent, wire.EncodeEvent(src)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.NextEvent(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Borrowed() {
+			t.Fatal("unknown attribute names should decode borrowed")
+		}
+		v, _ := got.Get("zz-client-borrow")
+		if s, _ := v.Str(); s != fmt.Sprintf("payload-%04d", i) {
+			t.Fatalf("event %d: got %q", i, s)
+		}
+		got.Release()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.ch.Stats()
+		if st.PacketsAcquired == st.PacketsRecycled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client packet leak: acquired=%d recycled=%d",
+				st.PacketsAcquired, st.PacketsRecycled)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -91,7 +91,9 @@ func (c *Client) Publish(e *event.Event) error {
 	if err != nil {
 		return err
 	}
-	return comp.Wait()
+	err = comp.Wait()
+	comp.Recycle() // Publish owns the handle
+	return err
 }
 
 // PublishAsync enqueues an event towards the bus and returns a
@@ -116,7 +118,13 @@ func (c *Client) PublishAsync(e *event.Event) (*reliable.Completion, error) {
 	}
 	e.Sender = c.ch.LocalID()
 	e.Seq = c.pubSeq.Add(1)
-	comp := c.ch.SendAsync(c.bus, wire.PktEvent, wire.EncodeEvent(e))
+	// Pooled encode: the channel copies the payload before SendAsync
+	// returns, so the buffer goes straight back.
+	bp := wire.GetEncodeBuf()
+	payload := wire.AppendEvent((*bp)[:0], e)
+	*bp = payload
+	comp := c.ch.SendAsync(c.bus, wire.PktEvent, payload)
+	wire.PutEncodeBuf(bp)
 	c.mu.Lock()
 	c.stats.Published++ // counted at enqueue; failures surface via comp
 	c.mu.Unlock()
@@ -176,6 +184,14 @@ func (c *Client) Unsubscribe(f *event.Filter) error {
 }
 
 // Events yields events pushed by the bus (via this member's proxy).
+//
+// Delivered events are pooled, borrowing decodes: their attribute
+// strings alias the inbound packet's buffer, which stays alive exactly
+// as long as the event does. Reading attributes is always safe;
+// consumers that are done with an event should Release it so the
+// event and its packet recycle, and must Clone anything they keep
+// past the Release. Consumers that never Release just fall back to
+// garbage collection.
 func (c *Client) Events() <-chan *event.Event { return c.inbox }
 
 // Data yields raw device bytes pushed by the bus for devices whose
@@ -214,8 +230,10 @@ func (c *Client) recvLoop() {
 			return
 		}
 		stop := c.handleInbound(pkt)
-		// handleInbound copies anything it keeps out of the payload,
-		// so the pooled packet can recycle here.
+		// Drop the receive loop's reference. This is NOT necessarily
+		// the last one: the borrowing event decode retains the packet
+		// and aliases its payload, so the buffer stays live until the
+		// delivered event is released.
 		pkt.Release()
 		if stop {
 			return
@@ -228,8 +246,12 @@ func (c *Client) recvLoop() {
 func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
 	switch pkt.Type {
 	case wire.PktEvent:
-		e, err := wire.DecodeEvent(pkt.Payload)
-		if err != nil {
+		// Borrowing decode into a pooled event (see Events for the
+		// consumer contract): the event keeps the packet alive, so
+		// nothing is copied here.
+		e := event.Acquire()
+		if err := wire.DecodeEventInto(e, pkt); err != nil {
+			e.Release()
 			return false
 		}
 		// Origin sender/seq travel inside the payload; the packet
@@ -240,8 +262,10 @@ func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
 		select {
 		case c.inbox <- e:
 		case <-c.done:
+			e.Release()
 			return true
 		default: // inbox overflow: drop oldest semantics not needed; drop new
+			e.Release()
 		}
 	case wire.PktData:
 		cp := make([]byte, len(pkt.Payload))

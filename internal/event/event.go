@@ -98,7 +98,21 @@ type Event struct {
 	// stays copyable (Clone copies the struct).
 	pooled bool
 	refs   int32
+
+	// borrowed/backing implement the borrow-from-packet decode: the
+	// attribute names and string/bytes payloads of a borrowed event
+	// alias an external buffer (a pooled inbound packet's payload)
+	// instead of owning copies. backing, when non-nil, holds the
+	// reference that keeps that buffer alive; it is released when the
+	// event's storage is reclaimed. Clone promotes borrowed strings to
+	// owned copies, so a clone never depends on the backing buffer.
+	borrowed bool
+	backing  Backing
 }
+
+// Backing is the lifetime handle of a buffer a borrowed event's
+// strings alias. wire.Packet implements it.
+type Backing interface{ Release() }
 
 // New returns an empty event.
 func New() *Event { return &Event{} }
@@ -340,14 +354,35 @@ func (e *Event) Range(fn func(name string, v Value) bool) {
 // (no extra allocation), a spilled attribute store is shared
 // copy-on-write until either event next mutates it, and byte-slice
 // values keep sharing their backing arrays (Values are immutable
-// through the public API — Bytes copies on read). Clone is safe to
-// call concurrently on a shared, read-only event.
+// through the public API — Bytes copies on read). Cloning a borrowed
+// event promotes: every name and string/bytes payload is copied into
+// owned memory (well-known names resolve to their interned instance),
+// so the clone is valid past the borrowed buffer's release. Clone is
+// safe to call concurrently on a shared, read-only event.
 func (e *Event) Clone() *Event {
 	cp := &Event{
 		Sender: e.Sender,
 		Seq:    e.Seq,
 		Stamp:  e.Stamp,
 		n:      e.n,
+	}
+	if e.borrowed {
+		// A borrowed event's strings alias a buffer whose lifetime the
+		// clone does not share, so the clone owns everything outright
+		// (no spill sharing either — the shared store would carry the
+		// borrowed strings).
+		src := e.attrSlice()
+		dst := cp.inline[:]
+		if e.n > InlineAttrs {
+			ns := &spillStore{attrs: make([]attr, e.n, spillCap(e.n))}
+			ns.refs.Store(1)
+			cp.spill = ns
+			dst = ns.attrs
+		}
+		for i := range src {
+			dst[i] = attr{name: promoteString(src[i].name), val: promoteValue(src[i].val)}
+		}
+		return cp
 	}
 	if e.spill != nil {
 		e.spill.refs.Add(1)
@@ -356,6 +391,74 @@ func (e *Event) Clone() *Event {
 		cp.inline = e.inline
 	}
 	return cp
+}
+
+// promoteString returns an owned copy of s — the shared interned
+// instance when s is a well-known string, a fresh copy otherwise.
+func promoteString(s string) string {
+	if in, ok := lookupInternStr(s); ok {
+		return in
+	}
+	return strings.Clone(s)
+}
+
+// promoteValue returns v with any borrowed string/bytes payload copied
+// into owned memory.
+func promoteValue(v Value) Value {
+	switch v.typ {
+	case TypeString:
+		v.str = promoteString(v.str)
+	case TypeBytes:
+		if v.raw != nil {
+			v.raw = append(make([]byte, 0, len(v.raw)), v.raw...)
+		}
+	}
+	return v
+}
+
+// Borrow marks the event's attribute strings as aliasing an external
+// buffer and hands the event the reference that keeps the buffer alive
+// (r may be nil when the buffer's lifetime is guaranteed some other
+// way, e.g. plain garbage-collected memory). It is called by the
+// borrowing wire decoder; the backing reference is released when the
+// event's storage is reclaimed (the last Release of a pooled event, or
+// Clear).
+func (e *Event) Borrow(r Backing) {
+	e.borrowed = true
+	if r != nil {
+		if e.backing != nil {
+			e.backing.Release()
+		}
+		e.backing = r
+	}
+}
+
+// Borrowed reports whether the event's strings alias an external
+// buffer. Borrowed data is valid for the event's lifetime; Clone to
+// keep attributes past it.
+func (e *Event) Borrowed() bool { return e.borrowed }
+
+// Pooled reports whether the event came from Acquire and is
+// reference-counted.
+func (e *Event) Pooled() bool { return e.pooled }
+
+// releaseBacking drops the borrowed-buffer reference, if any.
+func (e *Event) releaseBacking() {
+	if e.backing != nil {
+		e.backing.Release()
+		e.backing = nil
+	}
+	e.borrowed = false
+}
+
+// Clear removes every attribute and releases any borrowed backing
+// buffer, leaving an empty event whose metadata (Sender, Seq, Stamp)
+// is untouched. Decoders reuse one event across packets with it.
+func (e *Event) Clear() {
+	e.dropSpill()
+	e.inline = [InlineAttrs]attr{}
+	e.n = 0
+	e.releaseBacking()
 }
 
 // Equal reports whether two events carry identical attributes and

@@ -66,7 +66,8 @@ func (e *Event) Release() {
 		return
 	}
 	e.dropSpill()
-	*e = Event{} // clear attribute names/values so recycled events pin nothing
+	e.releaseBacking() // borrowed decode: let the backing packet recycle
+	*e = Event{}       // clear attribute names/values so recycled events pin nothing
 	poolRecycled.Add(1)
 	eventPool.Put(e)
 }

@@ -85,6 +85,13 @@ func Bytes(v []byte) Value {
 	return Value{typ: TypeBytes, raw: cp}
 }
 
+// BytesAlias builds a byte-slice Value that aliases v without copying.
+// The caller guarantees v stays immutable and alive for as long as the
+// value is used; the borrowing wire decoder pairs it with the packet
+// backing held by Event.Borrow, and Clone promotes it to an owned
+// copy. Everyone else should use Bytes.
+func BytesAlias(v []byte) Value { return Value{typ: TypeBytes, raw: v} }
+
 // Type reports the dynamic type of the value.
 func (v Value) Type() Type { return v.typ }
 

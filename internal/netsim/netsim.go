@@ -26,7 +26,93 @@ type Network struct {
 	closed   bool
 	stats    Stats
 
-	timers sync.WaitGroup
+	// Delayed deliveries live in one pooled min-heap drained by a
+	// single scheduler goroutine (started lazily on the first delayed
+	// datagram) instead of one time.AfterFunc per datagram: on a link
+	// with latency every packet used to cost a timer plus closure
+	// allocation, which dominated the simulated E2E allocation profile.
+	pending   delayHeap
+	freeDel   *pendingDelivery
+	delSeq    uint64
+	schedOn   bool
+	schedWake chan struct{}
+	schedDone chan struct{}
+}
+
+// pendingDelivery is one scheduled datagram awaiting its deadline.
+type pendingDelivery struct {
+	at   time.Time
+	seq  uint64 // FIFO tie-break among equal deadlines
+	to   ident.ID
+	dg   transport.Datagram
+	next *pendingDelivery // free-list link
+}
+
+func (d *pendingDelivery) before(o *pendingDelivery) bool {
+	if !d.at.Equal(o.at) {
+		return d.at.Before(o.at)
+	}
+	return d.seq < o.seq
+}
+
+// delayHeap is a hand-rolled min-heap (container/heap would box every
+// entry through an interface).
+type delayHeap []*pendingDelivery
+
+func (h *delayHeap) push(d *pendingDelivery) {
+	*h = append(*h, d)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() *pendingDelivery {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		small := i
+		if left < len(s) && s[left].before(s[small]) {
+			small = left
+		}
+		if right < len(s) && s[right].before(s[small]) {
+			small = right
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// getDelLocked/putDelLocked recycle heap entries. Caller holds n.mu.
+func (n *Network) getDelLocked() *pendingDelivery {
+	if d := n.freeDel; d != nil {
+		n.freeDel = d.next
+		d.next = nil
+		return d
+	}
+	return new(pendingDelivery)
+}
+
+func (n *Network) putDelLocked(d *pendingDelivery) {
+	*d = pendingDelivery{next: n.freeDel}
+	n.freeDel = d
 }
 
 type linkKey struct{ from, to ident.ID }
@@ -168,11 +254,18 @@ func (n *Network) Close() error {
 		eps = append(eps, ep)
 	}
 	n.eps = make(map[ident.ID]*Endpoint)
+	schedOn, wake, done := n.schedOn, n.schedWake, n.schedDone
 	n.mu.Unlock()
 	for _, ep := range eps {
 		ep.closeLocal()
 	}
-	n.timers.Wait()
+	if schedOn {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+		<-done
+	}
 	return nil
 }
 
@@ -282,21 +375,77 @@ func (n *Network) scheduleLocked(from, to ident.ID, data []byte, delay time.Dura
 		}
 		return
 	}
-	n.timers.Add(1)
-	time.AfterFunc(delay, func() {
-		defer n.timers.Done()
+	d := n.getDelLocked()
+	d.at = time.Now().Add(delay)
+	d.seq = n.delSeq
+	n.delSeq++
+	d.to = to
+	d.dg = dg
+	n.pending.push(d)
+	if !n.schedOn {
+		n.schedOn = true
+		n.schedWake = make(chan struct{}, 1)
+		n.schedDone = make(chan struct{})
+		go n.schedLoop()
+		return
+	}
+	select {
+	case n.schedWake <- struct{}{}:
+	default:
+	}
+}
+
+// schedLoop drains the delivery heap: it sleeps until the earliest
+// deadline, delivers everything due, and exits once the network closes
+// (recycling whatever is still pending — every endpoint is closed by
+// then, so those datagrams could only have been dropped anyway).
+func (n *Network) schedLoop() {
+	defer close(n.schedDone)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
 		n.mu.Lock()
-		ep, ok := n.eps[to]
-		if ok {
-			n.stats.Delivered++
+		if n.closed {
+			for len(n.pending) > 0 {
+				d := n.pending.pop()
+				d.dg.Recycle()
+				n.putDelLocked(d)
+			}
+			n.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		for len(n.pending) > 0 && !n.pending[0].at.After(now) {
+			d := n.pending.pop()
+			dg, to := d.dg, d.to
+			n.putDelLocked(d)
+			if ep, ok := n.eps[to]; ok {
+				n.stats.Delivered++
+				ep.enqueue(dg) // non-blocking: drops on overflow
+			} else {
+				dg.Recycle()
+			}
+		}
+		wait := time.Hour
+		if len(n.pending) > 0 {
+			if wait = time.Until(n.pending[0].at); wait < 0 {
+				wait = 0
+			}
 		}
 		n.mu.Unlock()
-		if ok {
-			ep.enqueue(dg)
-		} else {
-			dg.Recycle()
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
 		}
-	})
+		timer.Reset(wait)
+		select {
+		case <-n.schedWake:
+		case <-timer.C:
+		}
+	}
 }
 
 func (n *Network) detach(id ident.ID) {

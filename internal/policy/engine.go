@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -346,13 +347,17 @@ func (e *Engine) onPurgeMember(ev *event.Event) {
 	e.mu.Unlock()
 }
 
+// deviceTypeOf extracts the device-type attribute as an owned string.
+// The copy matters: delivered events may be borrowing decodes whose
+// strings die with the event, and the result is stored as a typeCount
+// map key that outlives the handler callback.
 func deviceTypeOf(ev *event.Event) string {
 	v, ok := ev.Get(event.AttrDeviceType)
 	if !ok {
 		return ""
 	}
 	s, _ := v.Str()
-	return s
+	return strings.Clone(s)
 }
 
 // ---- authorisation (bus.Authorizer) ----

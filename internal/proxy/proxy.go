@@ -344,15 +344,6 @@ func (p *Proxy) next() (*event.Event, bool) {
 	return e, true
 }
 
-// encBufPool recycles outbound encode buffers across deliveries: the
-// reliable channel blocks until the packet is acknowledged (and copies
-// the payload into the marshalled datagram), so the buffer is free for
-// reuse as soon as Send returns.
-var encBufPool = sync.Pool{New: func() interface{} {
-	b := make([]byte, 0, 512)
-	return &b
-}}
-
 // deliverOne pushes one event to the device, retrying after reliable
 // failures until success or purge. It reports false when the proxy was
 // stopped. Translation, the pooled-event release and the encode-buffer
@@ -406,8 +397,7 @@ type outItem struct {
 
 func (p *Proxy) releaseItem(it outItem) {
 	if it.bufp != nil {
-		*it.bufp = (*it.bufp)[:0]
-		encBufPool.Put(it.bufp)
+		wire.PutEncodeBuf(it.bufp)
 	}
 }
 
@@ -431,7 +421,7 @@ func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
 		p.mu.Unlock()
 		return outItem{ptype: wire.PktData, payload: raw}, true
 	default:
-		bp := encBufPool.Get().(*[]byte)
+		bp := wire.GetEncodeBuf()
 		payload := wire.AppendEvent((*bp)[:0], src)
 		*bp = payload
 		return outItem{ptype: wire.PktEvent, payload: payload, bufp: bp}, true
@@ -504,6 +494,7 @@ func (p *Proxy) deliverLoopAsync(as AsyncSender) {
 			p.stats.Delivered++
 			p.mu.Unlock()
 			p.releaseItem(head)
+			head.comp.Recycle() // observed: hand the handle back
 			inflight = inflight[1:]
 		case errors.Is(err, reliable.ErrClosed):
 			releaseAll()
@@ -521,7 +512,10 @@ func (p *Proxy) deliverLoopAsync(as AsyncSender) {
 					releaseAll()
 					return
 				}
-				if it.comp.Err() == nil {
+				itErr := it.comp.Err()
+				it.comp.Recycle() // observed; retries get a fresh handle
+				it.comp = nil
+				if itErr == nil {
 					p.mu.Lock()
 					p.stats.Delivered++
 					p.mu.Unlock()

@@ -1,6 +1,7 @@
 package reliable
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -53,9 +54,11 @@ func BenchmarkReliableWindow(b *testing.B) {
 			defer recv.Close()
 			go func() {
 				for {
-					if _, err := recv.Recv(); err != nil {
+					pkt, err := recv.Recv()
+					if err != nil {
 						return
 					}
+					pkt.Release() // consumer contract: recycle the pooled packet
 				}
 			}()
 
@@ -69,6 +72,7 @@ func BenchmarkReliableWindow(b *testing.B) {
 					if err := pending[0].Wait(); err != nil {
 						b.Fatal(err)
 					}
+					pending[0].Recycle()
 					pending = pending[1:]
 				}
 			}
@@ -76,6 +80,7 @@ func BenchmarkReliableWindow(b *testing.B) {
 				if err := c.Wait(); err != nil {
 					b.Fatal(err)
 				}
+				c.Recycle()
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/s")
@@ -97,9 +102,11 @@ func BenchmarkReliableSendAllocs(b *testing.B) {
 	defer recv.Close()
 	go func() {
 		for {
-			if _, err := recv.Recv(); err != nil {
+			pkt, err := recv.Recv()
+			if err != nil {
 				return
 			}
+			pkt.Release() // consumer contract: recycle the pooled packet
 		}
 	}()
 
@@ -113,6 +120,7 @@ func BenchmarkReliableSendAllocs(b *testing.B) {
 			if err := pending[0].Wait(); err != nil {
 				b.Fatal(err)
 			}
+			pending[0].Recycle()
 			pending = pending[1:]
 		}
 	}
@@ -120,5 +128,51 @@ func BenchmarkReliableSendAllocs(b *testing.B) {
 		if err := c.Wait(); err != nil {
 			b.Fatal(err)
 		}
+		c.Recycle()
+	}
+}
+
+// BenchmarkReliableSendFireForget is the floor of the send path: no
+// completion exists at all, so a send costs only the pooled op, the
+// pooled marshal buffer and the transport hop.
+func BenchmarkReliableSendFireForget(b *testing.B) {
+	n := netsim.New(netsim.Perfect, netsim.WithSeed(19))
+	defer n.Close()
+	ta, _ := n.Attach(ident.New(1))
+	tb, _ := n.Attach(ident.New(2))
+	a, recv := New(ta, benchCfg(16)), New(tb, benchCfg(16))
+	defer a.Close()
+	defer recv.Close()
+	go func() {
+		for {
+			pkt, err := recv.Recv()
+			if err != nil {
+				return
+			}
+			pkt.Release()
+		}
+	}()
+
+	payload := []byte("alloc-benchmark-payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := a.SendFireForget(tb.LocalID(), wire.PktEvent, payload)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrBacklog) {
+				b.Fatal(err)
+			}
+			time.Sleep(50 * time.Microsecond) // backpressure: let acks drain
+		}
+	}
+	b.StopTimer()
+	// Drain: wait until everything is acknowledged so queue growth
+	// does not leak into the next benchmark.
+	deadline := time.Now().Add(30 * time.Second)
+	for a.Stats().Acked < uint64(b.N) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -149,31 +149,98 @@ func DefaultConfig() Config {
 	}
 }
 
-// Completion is the handle returned by SendAsync. Done is closed when
-// the send is acknowledged or fails; Err is valid only after that.
+// Completion is the handle returned by SendAsync: it resolves when the
+// send is acknowledged or fails. Completions come from a free list and
+// a caller that has observed the outcome (Wait returned, or Done fired
+// and Err was read) may hand the handle back with Recycle; the wake
+// channel underneath is created lazily, only when a waiter arrives
+// before the send resolves, so a recycled completion whose sends
+// resolve ahead of their waiters costs no allocation at all.
 type Completion struct {
-	done chan struct{}
-	err  error
+	mu       sync.Mutex
+	done     chan struct{} // lazily created; closed on resolution
+	resolved bool
+	err      error
 }
 
+// closedChan is returned by Done for already-resolved completions.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Done returns a channel closed when the send has resolved.
-func (c *Completion) Done() <-chan struct{} { return c.done }
+func (c *Completion) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.resolved {
+		return closedChan
+	}
+	if c.done == nil {
+		c.done = make(chan struct{})
+	}
+	return c.done
+}
 
 // Err reports the outcome; call it only after Done is closed.
-func (c *Completion) Err() error { return c.err }
-
-// Wait blocks until the send resolves and returns its outcome.
-func (c *Completion) Wait() error {
-	<-c.done
+func (c *Completion) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.err
 }
 
-func newCompletion() *Completion { return &Completion{done: make(chan struct{})} }
+// Wait blocks until the send resolves and returns its outcome.
+func (c *Completion) Wait() error {
+	c.mu.Lock()
+	if c.resolved {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.done == nil {
+		c.done = make(chan struct{})
+	}
+	d := c.done
+	c.mu.Unlock()
+	<-d
+	return c.Err()
+}
+
+// settle resolves the completion, waking every waiter.
+func (c *Completion) settle(err error) {
+	c.mu.Lock()
+	c.err = err
+	c.resolved = true
+	if c.done != nil {
+		close(c.done)
+	}
+	c.mu.Unlock()
+}
+
+// Recycle returns a resolved completion to the free list. Optional:
+// callers that drop completions leave them to the garbage collector.
+// The caller must not touch the completion afterwards; an unresolved
+// completion is left alone.
+func (c *Completion) Recycle() {
+	c.mu.Lock()
+	ok := c.resolved
+	if ok {
+		c.done, c.err, c.resolved = nil, nil, false
+	}
+	c.mu.Unlock()
+	if ok {
+		completionPool.Put(c)
+	}
+}
+
+var completionPool = sync.Pool{New: func() interface{} { return new(Completion) }}
+
+func newCompletion() *Completion { return completionPool.Get().(*Completion) }
 
 func failedCompletion(err error) *Completion {
 	c := newCompletion()
-	c.err = err
-	close(c.done)
+	c.settle(err)
 	return c
 }
 
@@ -194,13 +261,31 @@ func putBuf(bp *[]byte) {
 	pktBufPool.Put(bp)
 }
 
-// sendOp is one queued reliable packet.
+// sendOp is one queued reliable packet. Ops are recycled through a
+// per-destination free list (see destState.free): they are allocated
+// and released under ds.mu, so the list needs no locking of its own
+// and the steady-state send path allocates no op. comp is nil for
+// fire-and-forget sends, whose outcome is observable only in Stats.
 type sendOp struct {
 	seq   uint64
 	ptype wire.PacketType
 	flags byte
 	bufp  *[]byte // marshalled packet, pooled
 	comp  *Completion
+	next  *sendOp // free-list link
+}
+
+// maxFreeOps bounds a destination's op free list; churn beyond it falls
+// back to the garbage collector.
+const maxFreeOps = 256
+
+// settleOp resolves an op's completion, if it has one (fire-and-forget
+// ops do not).
+func settleOp(op *sendOp, err error) {
+	if op.comp != nil {
+		op.comp.settle(err)
+		op.comp = nil
+	}
 }
 
 func (op *sendOp) payload() []byte {
@@ -218,13 +303,37 @@ type destState struct {
 	queue    []*sendOp // unacked ops in seq order; queue[:inflight] transmitted
 	inflight int
 	stash    []*sendOp // ops failed by give-up, resumable by identical resend
-	attempts int       // retransmit rounds since last ack progress
+	free     *sendOp   // recycled ops (guarded by mu like the queue)
+	nfree    int
+	attempts int // retransmit rounds since last ack progress
 	dupAcks  int
 	fastRetx bool
 	deadline time.Time // retransmit deadline while inflight > 0
 	gone     bool      // forgotten or channel closed
 
 	notify chan struct{} // kicks the sender goroutine, cap 1
+}
+
+// getOpLocked pops a recycled op or allocates one. Caller holds ds.mu.
+func (ds *destState) getOpLocked() *sendOp {
+	if op := ds.free; op != nil {
+		ds.free = op.next
+		ds.nfree--
+		op.next = nil
+		return op
+	}
+	return new(sendOp)
+}
+
+// putOpLocked recycles a resolved op whose buffer and completion have
+// already been handed back. Caller holds ds.mu.
+func (ds *destState) putOpLocked(op *sendOp) {
+	if ds.nfree >= maxFreeOps {
+		return
+	}
+	*op = sendOp{next: ds.free}
+	ds.free = op
+	ds.nfree++
 }
 
 func (ds *destState) kick() {
@@ -321,7 +430,10 @@ func (c *Channel) Stats() Stats { return c.ctr.snapshot(c.pktPool) }
 // is exhausted. Sends to one destination are delivered in enqueue
 // order (FIFO).
 func (c *Channel) Send(dst ident.ID, ptype wire.PacketType, payload []byte) error {
-	return c.SendAsync(dst, ptype, payload).Wait()
+	comp := c.SendAsync(dst, ptype, payload)
+	err := comp.Wait()
+	comp.Recycle() // Send owns the handle; nobody else can observe it
+	return err
 }
 
 // SendAsync enqueues a reliable packet for dst and returns immediately
@@ -331,14 +443,38 @@ func (c *Channel) Send(dst ident.ID, ptype wire.PacketType, payload []byte) erro
 // delivered in enqueue order; up to Config.Window of them are kept in
 // flight concurrently.
 func (c *Channel) SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte) *Completion {
+	comp, err := c.sendReliable(dst, ptype, payload, true)
+	if err != nil {
+		return failedCompletion(err)
+	}
+	return comp
+}
+
+// SendFireForget enqueues a reliable packet for dst with no Completion
+// at all: the send still gets the full windowed ARQ treatment
+// (sequencing, retransmission, FIFO with other sends to dst, the
+// give-up stash with resume-by-identical-payload), but the outcome is
+// observable only through Stats (Acked / Failures). The returned error
+// covers immediate failures only (closed channel, broadcast
+// destination, backlog overflow, marshal errors). Telemetry-style
+// senders that want reliability but track nothing per send use it to
+// skip the per-send completion entirely.
+func (c *Channel) SendFireForget(dst ident.ID, ptype wire.PacketType, payload []byte) error {
+	_, err := c.sendReliable(dst, ptype, payload, false)
+	return err
+}
+
+// sendReliable resolves the destination state and enqueues one
+// reliable packet, retrying when the state is torn down concurrently.
+func (c *Channel) sendReliable(dst ident.ID, ptype wire.PacketType, payload []byte, wantComp bool) (*Completion, error) {
 	if dst.IsBroadcast() {
-		return failedCompletion(errBroadcast)
+		return nil, errBroadcast
 	}
 	for {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			return failedCompletion(ErrClosed)
+			return nil, ErrClosed
 		}
 		ds, ok := c.dests[dst]
 		if !ok {
@@ -348,8 +484,8 @@ func (c *Channel) SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte)
 			go c.runSender(ds)
 		}
 		c.mu.Unlock()
-		if comp, ok := c.enqueue(ds, ptype, payload); ok {
-			return comp
+		if comp, ok, err := c.enqueue(ds, ptype, payload, wantComp); ok {
+			return comp, err
 		}
 		// The destination state was torn down (Forget or Close) while
 		// we held it: retry against fresh state.
@@ -358,18 +494,19 @@ func (c *Channel) SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte)
 
 // enqueue assigns a sequence number, marshals the packet into a pooled
 // buffer and appends it to the destination queue. It reports !ok when
-// ds is no longer the live state for this destination.
-func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte) (*Completion, bool) {
+// ds is no longer the live state for this destination; a non-nil error
+// is an immediate failure (backlog, marshal). With wantComp=false the
+// op is fire-and-forget: no Completion is created.
+func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte, wantComp bool) (*Completion, bool, error) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if ds.gone {
-		return nil, false
+		return nil, false, nil
 	}
 	if len(ds.queue) >= c.cfg.MaxPending {
-		return failedCompletion(fmt.Errorf("%w: %d pending to %s", ErrBacklog, len(ds.queue), ds.id)), true
+		return nil, true, fmt.Errorf("%w: %d pending to %s", ErrBacklog, len(ds.queue), ds.id)
 	}
-	comp := newCompletion()
-	var op *sendOp
+	var comp, op = (*Completion)(nil), (*sendOp)(nil)
 	if len(ds.stash) > 0 {
 		s := ds.stash[0]
 		if s.ptype == ptype && bytes.Equal(s.payload(), payload) {
@@ -378,7 +515,6 @@ func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte) 
 			// (acks lost) dedups instead of delivering twice.
 			ds.stash = ds.stash[1:]
 			op = s
-			op.comp = comp
 			op.flags |= wire.FlagRetransmit
 			_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
 			c.ctr.resumed.Add(1)
@@ -391,7 +527,8 @@ func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte) 
 	}
 	if op == nil {
 		ds.nextSeq++
-		op = &sendOp{seq: ds.nextSeq, ptype: ptype, comp: comp}
+		op = ds.getOpLocked()
+		op.seq, op.ptype = ds.nextSeq, ptype
 		bp := getBuf()
 		pkt := wire.Packet{
 			Type:    ptype,
@@ -404,17 +541,20 @@ func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte) 
 		if err != nil {
 			putBuf(bp)
 			ds.nextSeq--
-			comp.err = fmt.Errorf("reliable marshal: %w", err)
-			close(comp.done)
-			return comp, true
+			ds.putOpLocked(op)
+			return nil, true, fmt.Errorf("reliable marshal: %w", err)
 		}
 		*bp = b
 		op.bufp = bp
 	}
+	if wantComp {
+		comp = newCompletion()
+	}
+	op.comp = comp
 	ds.queue = append(ds.queue, op)
 	c.ctr.sent.Add(1)
 	ds.kick()
-	return comp, true
+	return comp, true, nil
 }
 
 // resetStreamLocked abandons the stash, bumps the epoch, and renumbers
@@ -423,6 +563,7 @@ func (c *Channel) resetStreamLocked(ds *destState) {
 	for _, s := range ds.stash {
 		putBuf(s.bufp)
 		s.bufp = nil
+		ds.putOpLocked(s) // already settled by the give-up
 	}
 	ds.stash = nil
 	ds.epoch++
@@ -517,9 +658,7 @@ func (c *Channel) runSender(ds *destState) {
 				// Permanently unsendable (over the transport MTU):
 				// fail this op now and close the sequence gap by
 				// renumbering the untransmitted ops behind it.
-				op.comp.err = fmt.Errorf("reliable send: %w", err)
-				close(op.comp.done)
-				op.comp = nil
+				settleOp(op, fmt.Errorf("reliable send: %w", err))
 				putBuf(op.bufp)
 				op.bufp = nil
 				c.ctr.failures.Add(1)
@@ -529,6 +668,7 @@ func (c *Channel) runSender(ds *destState) {
 					_ = wire.PatchHeader(*later.bufp, later.flags, ds.epoch, later.seq)
 				}
 				ds.nextSeq--
+				ds.putOpLocked(op)
 				continue
 			}
 			if ds.inflight == 0 {
@@ -571,10 +711,8 @@ func (c *Channel) runSender(ds *destState) {
 // to the resume stash. Caller holds ds.mu.
 func (c *Channel) giveUpLocked(ds *destState) {
 	for _, op := range ds.queue {
-		op.comp.err = fmt.Errorf("%w: %s epoch=%d seq=%d to %s",
-			ErrGaveUp, op.ptype, ds.epoch, op.seq, ds.id)
-		close(op.comp.done)
-		op.comp = nil
+		settleOp(op, fmt.Errorf("%w: %s epoch=%d seq=%d to %s",
+			ErrGaveUp, op.ptype, ds.epoch, op.seq, ds.id))
 		c.ctr.failures.Add(1)
 	}
 	// Failed queue entries carry lower sequence numbers than whatever
@@ -592,9 +730,7 @@ func (c *Channel) giveUpLocked(ds *destState) {
 // sender state. Caller holds ds.mu.
 func (c *Channel) failPendingLocked(ds *destState, err error) {
 	for _, op := range ds.queue {
-		op.comp.err = err
-		close(op.comp.done)
-		op.comp = nil
+		settleOp(op, err)
 		putBuf(op.bufp)
 		op.bufp = nil
 	}
@@ -815,8 +951,8 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 		}
 		putBuf(op.bufp)
 		op.bufp = nil
-		close(op.comp.done) // err stays nil: success
-		op.comp = nil
+		settleOp(op, nil) // success
+		ds.putOpLocked(op)
 		progress++
 	}
 	switch {

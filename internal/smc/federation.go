@@ -116,11 +116,15 @@ func (l *FederationLink) pump() {
 				l.mu.Lock()
 				l.skipped++
 				l.mu.Unlock()
+				e.Release()
 				continue
 			}
+			// Clone promotes the borrowed decode to owned strings; the
+			// original (and its packet) recycle here.
 			imported := e.Clone()
 			imported.SetStr(AttrFederatedFrom, l.remoteCell)
 			imported.SetInt("origin-sender", int64(e.Sender))
+			e.Release()
 			if err := l.local.Publish(imported); err != nil {
 				continue // home bus congested or closing; drop
 			}

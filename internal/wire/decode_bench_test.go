@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// BenchmarkDecodeEvent measures the receive-side decode of one small
+// sensor reading, the shape that dominates the paper's workloads
+// (§II-C):
+//
+//   - interned: DecodeEventInto where every name and string value is
+//     in the intern table — the steady-state hot path, pinned at
+//     0 allocs/op by the CI gate;
+//   - borrowed: DecodeEventInto with unknown names, which alias the
+//     pooled packet's buffer (still allocation-free in steady state —
+//     event, strings and packet all recycle);
+//   - owned: the copying DecodeEvent the bus used before PR 4, for
+//     comparison.
+func BenchmarkDecodeEvent(b *testing.B) {
+	mkRaw := func(e *event.Event) []byte {
+		pkt := &Packet{Type: PktEvent, Sender: e.Sender, Seq: e.Seq, Payload: EncodeEvent(e)}
+		raw, err := pkt.MarshalBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}
+
+	interned := event.New()
+	interned.Sender = ident.New(0x51)
+	interned.Seq = 3
+	interned.Stamp = time.Unix(1700000000, 0)
+	interned.Set(event.AttrType, event.Str("reading"))
+	interned.Set("kind", event.Str("pulse"))
+	interned.SetFloat("value", 72.5)
+	interned.SetInt("seq", 12345)
+
+	// Names and string value longer than event.MaxNameLen: LookupIntern
+	// never counts them, so the intern table cannot learn them mid-run
+	// and every iteration measures the true borrow-alias path. (The
+	// event violates Validate's name limit, but this benchmark only
+	// exercises the decoder, which — like the seed's — does not enforce
+	// it.)
+	longName := func(prefix string) string {
+		return prefix + strings.Repeat("x", event.MaxNameLen)
+	}
+	borrowed := event.New()
+	borrowed.Sender = ident.New(0x52)
+	borrowed.Seq = 4
+	borrowed.Stamp = time.Unix(1700000000, 0)
+	borrowed.SetStr(longName("a-"), longName("value-"))
+	borrowed.SetBytes(longName("b-"), make([]byte, 64))
+	borrowed.SetFloat(longName("c-"), 1.25)
+
+	for _, tc := range []struct {
+		name string
+		e    *event.Event
+	}{
+		{"interned", interned},
+		{"borrowed", borrowed},
+	} {
+		raw := mkRaw(tc.e)
+		b.Run(tc.name, func(b *testing.B) {
+			pool := NewPacketPool()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pkt, err := pool.Unmarshal(raw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := event.Acquire()
+				if err := DecodeEventInto(e, pkt); err != nil {
+					b.Fatal(err)
+				}
+				pkt.Release()
+				e.Release()
+			}
+		})
+	}
+
+	b.Run("owned", func(b *testing.B) {
+		payload := EncodeEvent(interned)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeEvent(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"time"
+	"unsafe"
 
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
@@ -132,7 +133,39 @@ func AppendValue(dst []byte, v event.Value) []byte {
 	return dst
 }
 
+// bytesToString reinterprets b as a string without copying. The result
+// aliases b's backing array: it is only handed out by the borrowing
+// decode path, where the event's Borrow backing keeps the buffer alive
+// and immutable.
+func bytesToString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// internOrBorrow turns raw name/string bytes into a string without
+// copying: the interned instance when the spelling is well known, a
+// string aliasing b otherwise (reported through borrowed).
+func internOrBorrow(b []byte, borrowed *bool) string {
+	if s, ok := event.LookupIntern(b); ok {
+		return s
+	}
+	if len(b) > 0 {
+		*borrowed = true
+	}
+	return bytesToString(b)
+}
+
 func readValue(r *reader) (event.Value, error) {
+	return readValueBorrow(r, false, nil)
+}
+
+// readValueBorrow decodes one value. In borrow mode string payloads
+// resolve through the intern table or alias the read buffer, and bytes
+// payloads alias it outright; *borrowed is set when any aliasing
+// happened.
+func readValueBorrow(r *reader, borrow bool, borrowed *bool) (event.Value, error) {
 	tb, err := r.byte()
 	if err != nil {
 		return event.Value{}, err
@@ -151,11 +184,14 @@ func readValue(r *reader) (event.Value, error) {
 		}
 		return event.Float(math.Float64frombits(u)), nil
 	case event.TypeString:
-		s, err := r.string()
+		b, err := r.bytes()
 		if err != nil {
 			return event.Value{}, err
 		}
-		return event.Str(s), nil
+		if borrow {
+			return event.Str(internOrBorrow(b, borrowed)), nil
+		}
+		return event.Str(string(b)), nil
 	case event.TypeBool:
 		b, err := r.byte()
 		if err != nil {
@@ -169,6 +205,12 @@ func readValue(r *reader) (event.Value, error) {
 		b, err := r.bytes()
 		if err != nil {
 			return event.Value{}, err
+		}
+		if borrow {
+			if len(b) > 0 {
+				*borrowed = true
+			}
+			return event.BytesAlias(b), nil
 		}
 		return event.Bytes(b), nil
 	default:
@@ -206,41 +248,111 @@ func EncodeEvent(e *event.Event) []byte {
 	return AppendEvent(make([]byte, 0, 64+e.Len()*24), e)
 }
 
+// minAttrEncoded is the smallest possible encoding of one attribute:
+// a 1-byte name length prefix (empty name), the value type byte, and
+// at least one payload byte (a bool, or an empty string's own length
+// prefix). Every valid attribute is at least this large, so a count
+// whose minimum footprint exceeds the remaining payload proves
+// truncation before the decode loop runs — a hostile short packet
+// fails O(1) instead of allocating attributes until it hits the end.
+const minAttrEncoded = 3
+
 // DecodeEvent decodes an event payload, including the origin sender
-// and sequence number.
+// and sequence number. Every attribute name and string/bytes payload
+// is an owned copy; for the allocation-free borrowing decode used on
+// the receive hot path see DecodeEventInto.
 func DecodeEvent(buf []byte) (*event.Event, error) {
+	e := event.New()
+	if _, err := decodeEvent(e, buf, false); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ErrDecodeTarget reports a DecodeEventInto target that already
+// carries attributes.
+var ErrDecodeTarget = errors.New("wire: decode target event not empty")
+
+// DecodeEventInto decodes an event payload from pkt into e — which
+// must be empty — borrowing instead of copying: attribute names and
+// string values resolve through the intern table (shared storage, no
+// copy) or alias the packet's payload buffer, and bytes values alias
+// it outright. When anything was borrowed from a pooled packet the
+// event takes a packet reference (released with the event's storage),
+// so the bytes stay valid for the event's whole lifetime even after
+// the receive loop's own Release. The common deliver-and-drop path
+// therefore decodes with zero string allocations.
+//
+// Contract for consumers of borrowed events: attribute data is valid
+// until the event is released; Clone promotes everything to owned
+// copies for anything kept longer. Pair the call with an event from
+// event.Acquire — for a non-pooled target the packet reference would
+// have no release point, so the decode borrows without retaining and
+// the caller must keep pkt alive for as long as the event is used.
+func DecodeEventInto(e *event.Event, pkt *Packet) error {
+	if e.Len() != 0 {
+		return ErrDecodeTarget
+	}
+	borrowed, err := decodeEvent(e, pkt.Payload, true)
+	if err != nil {
+		e.Clear() // drop any half-built borrowed attributes
+		return err
+	}
+	if borrowed {
+		if e.Pooled() && pkt.pool != nil {
+			pkt.Retain()
+			e.Borrow(pkt)
+		} else {
+			e.Borrow(nil)
+		}
+	}
+	return nil
+}
+
+// decodeEvent is the shared decode core; it reports whether any
+// attribute data aliases buf.
+func decodeEvent(e *event.Event, buf []byte, borrow bool) (bool, error) {
 	r := &reader{buf: buf}
 	sender, err := r.uint64()
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	seq, err := r.uint64()
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	stampNano, err := r.uint64()
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	count, err := r.uint16()
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	if int(count) > event.MaxAttrs {
-		return nil, fmt.Errorf("%w: %d attributes", ErrBadEncoding, count)
+		return false, fmt.Errorf("%w: %d attributes", ErrBadEncoding, count)
 	}
-	e := event.New()
+	if int(count)*minAttrEncoded > r.remaining() {
+		return false, fmt.Errorf("%w: %d attributes in %d bytes", ErrTruncated, count, r.remaining())
+	}
 	e.Sender = ident.New(sender)
 	e.Seq = seq
 	e.Stamp = time.Unix(0, int64(stampNano))
+	borrowed := false
 	for i := 0; i < int(count); i++ {
-		name, err := r.string()
+		nb, err := r.bytes()
 		if err != nil {
-			return nil, err
+			return borrowed, err
 		}
-		v, err := readValue(r)
+		var name string
+		if borrow {
+			name = internOrBorrow(nb, &borrowed)
+		} else {
+			name = string(nb)
+		}
+		v, err := readValueBorrow(r, borrow, &borrowed)
 		if err != nil {
-			return nil, err
+			return borrowed, err
 		}
 		// Our encoder writes attributes in sorted name order, so the
 		// append fast path builds the inline form with no searching or
@@ -251,9 +363,9 @@ func DecodeEvent(buf []byte) (*event.Event, error) {
 		}
 	}
 	if r.remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, r.remaining())
+		return borrowed, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, r.remaining())
 	}
-	return e, nil
+	return borrowed, nil
 }
 
 // AppendFilter encodes a filter payload: count then constraints
@@ -287,6 +399,11 @@ func DecodeFilter(buf []byte) (*event.Filter, error) {
 	}
 	if int(count) > event.MaxAttrs {
 		return nil, fmt.Errorf("%w: %d constraints", ErrBadEncoding, count)
+	}
+	// Smallest constraint: 1-byte name prefix + 1 op byte (OpExists
+	// carries no value) — same O(1) truncation rejection as events.
+	if int(count)*2 > r.remaining() {
+		return nil, fmt.Errorf("%w: %d constraints in %d bytes", ErrTruncated, count, r.remaining())
 	}
 	cs := make([]event.Constraint, 0, count)
 	for i := 0; i < int(count); i++ {

@@ -5,6 +5,30 @@ import (
 	"sync/atomic"
 )
 
+// encBufPool recycles outbound event-encode buffers. The proxy's
+// delivery loops and the client's publish path share it: the reliable
+// channel copies the payload into its own marshal buffer before
+// Send/SendAsync return, so an encode buffer is reusable the moment
+// the send call comes back.
+var encBufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetEncodeBuf returns an empty pooled buffer for AppendEvent-style
+// encoding. Pair with PutEncodeBuf.
+func GetEncodeBuf() *[]byte { return encBufPool.Get().(*[]byte) }
+
+// PutEncodeBuf returns an encode buffer to the pool; the caller must
+// not touch the slice afterwards.
+func PutEncodeBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	*bp = (*bp)[:0]
+	encBufPool.Put(bp)
+}
+
 // PacketPool recycles inbound packets. The seed receive path paid an
 // allocation pair for every packet — the Packet struct from Unmarshal
 // plus the payload clone detaching it from the transport buffer

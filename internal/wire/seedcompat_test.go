@@ -119,6 +119,12 @@ func FuzzEventRoundTrip(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
+	// Regression seed for the O(1) truncated-count rejection: a full
+	// 26-byte metadata header claiming MaxAttrs attributes followed by
+	// no attribute bytes at all (see TestDecodeEventTruncatedCountFailsFast).
+	hostile := make([]byte, 26)
+	hostile[25] = event.MaxAttrs
+	f.Add(hostile)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := DecodeEvent(data)
 		if err != nil {
