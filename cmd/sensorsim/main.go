@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -60,10 +61,15 @@ func run() error {
 		interval = flag.Duration("interval", time.Second, "sampling interval")
 		actuator = flag.String("actuator", "", "run as an actuator with this name instead of a sensor")
 		seed     = flag.Int64("seed", 1, "waveform seed")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0: OS chooses)")
 	)
 	flag.Parse()
 
-	tr, err := transport.NewUDPTransport()
+	addrOpt, err := transport.WithAddr(*addr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	tr, err := transport.NewUDPTransport(addrOpt)
 	if err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
@@ -94,18 +100,22 @@ func run() error {
 		}
 	}
 
-	dev, err := smc.JoinCell(tr, smc.DeviceConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dev, err := smc.JoinCellWithRetry(ctx, tr, smc.DeviceConfig{
 		Type:      devType,
 		Name:      devName,
 		Secret:    []byte(*secret),
 		Cell:      *cellName,
 		Discovery: discID,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return fmt.Errorf("join: %w", err)
 	}
 	fmt.Printf("joined cell %q as %s (%s), bus %s\n",
 		dev.Join.Cell, devName, devType, dev.Join.Bus)
+	fmt.Printf("ready name=%s cell=%s addr=%s\n", devName, dev.Join.Cell, tr.LocalAddr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

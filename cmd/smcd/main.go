@@ -41,15 +41,26 @@ func run() error {
 		engine     = flag.String("matcher", "fast", "matching mechanism: fast or siena")
 		lease      = flag.Duration("lease", 2*time.Second, "membership lease")
 		grace      = flag.Duration("grace", 3*time.Second, "grace period after lease expiry")
+		busAddr    = flag.String("addr", "127.0.0.1:0", "bus listen address (host:port; port 0: OS chooses)")
+		discAddr   = flag.String("disc-addr", "127.0.0.1:0", "discovery listen address (host:port; port 0: OS chooses)")
+		drain      = flag.Duration("drain", 5*time.Second, "in-flight delivery drain budget on shutdown")
 		verbose    = flag.Bool("v", false, "log policy actions and membership changes")
 	)
 	flag.Parse()
 
-	busTr, err := transport.NewUDPTransport()
+	busOpt, err := transport.WithAddr(*busAddr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	discOpt, err := transport.WithAddr(*discAddr)
+	if err != nil {
+		return fmt.Errorf("-disc-addr: %w", err)
+	}
+	busTr, err := transport.NewUDPTransport(busOpt)
 	if err != nil {
 		return fmt.Errorf("bus transport: %w", err)
 	}
-	discTr, err := transport.NewUDPTransport()
+	discTr, err := transport.NewUDPTransport(discOpt)
 	if err != nil {
 		return fmt.Errorf("discovery transport: %w", err)
 	}
@@ -80,7 +91,6 @@ func run() error {
 		return err
 	}
 	cell.Start()
-	defer cell.Close()
 
 	if *verbose {
 		watcher := cell.Bus.Local("smcd-log")
@@ -103,6 +113,10 @@ func run() error {
 	fmt.Printf("discovery : %s (udp %s)\n", cell.Discovery.ID(), discTr.LocalAddr())
 	fmt.Printf("join with : sensorsim -cell %s -secret %s -discovery %s\n",
 		*cellName, *secret, cell.Discovery.ID())
+	// The single machine-readable line harnesses wait for; with -addr
+	// port 0 this is the only way to learn the bound addresses.
+	fmt.Printf("ready cell=%s bus=%s bus-addr=%s discovery=%s disc-addr=%s\n",
+		*cellName, cell.Bus.ID(), busTr.LocalAddr(), cell.Discovery.ID(), discTr.LocalAddr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -111,8 +125,7 @@ func run() error {
 	for {
 		select {
 		case <-sig:
-			fmt.Println("\nshutting down")
-			return nil
+			return shutdown(cell, *drain)
 		case <-ticker.C:
 			members := cell.Discovery.Members()
 			st := cell.Bus.Stats()
@@ -121,4 +134,21 @@ func run() error {
 				st.Quenches, st.AuthDenied)
 		}
 	}
+}
+
+// shutdown drains both reliable endpoints, closes the cell and turns
+// the packet-pool balance into the exit status: a daemon that leaked
+// pooled packets exits non-zero so a harness can catch the regression.
+func shutdown(cell *smc.Cell, drain time.Duration) error {
+	fmt.Println("\nshutting down: draining in-flight deliveries")
+	err := cell.Shutdown(drain)
+	acq, rec, clean := cell.LeakCheck()
+	fmt.Printf("leakcheck acquired=%d recycled=%d leaked=%d\n", acq, rec, acq-rec)
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if !clean {
+		return fmt.Errorf("packet pool leak: %d packets not recycled", acq-rec)
+	}
+	return nil
 }

@@ -9,6 +9,11 @@
 //
 // The filter syntax is the Ponder-lite constraint grammar (see
 // internal/policy); an empty filter taps everything.
+//
+// With -stats the tool instead performs a one-shot management-plane
+// query: it asks the discovery service for the cell's counters
+// (bus/channel statistics and the packet-pool balance), prints them
+// and exits. No admission is required for a stats query.
 package main
 
 import (
@@ -24,8 +29,10 @@ import (
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
 	"github.com/amuse/smc/internal/policy"
+	"github.com/amuse/smc/internal/reliable"
 	"github.com/amuse/smc/internal/smc"
 	"github.com/amuse/smc/internal/transport"
+	"github.com/amuse/smc/internal/wire"
 )
 
 func main() {
@@ -56,6 +63,8 @@ func run() error {
 		discStr  = flag.String("discovery", "", "discovery service ID (from smcd); empty waits for beacons")
 		filterEx = flag.String("filter", "", `constraint expression, e.g. 'type = "alarm" && severity >= 2'; empty taps everything`)
 		name     = flag.String("name", "smctap", "device name in the cell")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0: OS chooses)")
+		stats    = flag.Bool("stats", false, "one-shot query: print the cell's counters and exit")
 	)
 	flag.Parse()
 
@@ -64,7 +73,11 @@ func run() error {
 		return err
 	}
 
-	tr, err := transport.NewUDPTransport()
+	addrOpt, err := transport.WithAddr(*addr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	tr, err := transport.NewUDPTransport(addrOpt)
 	if err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
@@ -73,6 +86,13 @@ func run() error {
 		if discID, err = ident.Parse(*discStr); err != nil {
 			return fmt.Errorf("discovery ID: %w", err)
 		}
+	}
+
+	if *stats {
+		if *discStr == "" {
+			return fmt.Errorf("-stats requires -discovery (the ID printed by smcd)")
+		}
+		return statsQuery(tr, discID)
 	}
 
 	dev, err := smc.JoinCell(tr, smc.DeviceConfig{
@@ -95,12 +115,60 @@ func run() error {
 		case <-sig:
 			fmt.Printf("\n%d events observed\n", count)
 			return dev.Leave()
-		case e := <-dev.Client.Events():
+		case e, ok := <-dev.Client.Events():
+			if !ok {
+				fmt.Printf("\nconnection closed after %d events\n", count)
+				return nil
+			}
 			count++
 			fmt.Printf("%s %s", time.Now().Format("15:04:05.000"), renderEvent(e))
 			e.Release() // delivered events are pooled borrowing decodes
 		}
 	}
+}
+
+// statsQuery asks the discovery service at discID for the cell's
+// management-plane snapshot and prints it in flat key=value form, one
+// section per line, so shell harnesses can grep single counters.
+func statsQuery(tr transport.Transport, discID ident.ID) error {
+	ch := reliable.New(tr, reliable.Config{})
+	defer ch.Close()
+	if err := ch.Send(discID, wire.PktStatsRequest, nil); err != nil {
+		return fmt.Errorf("stats request: %w", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pkt, err := ch.RecvTimeout(time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("stats response: %w", err)
+		}
+		if pkt.Type != wire.PktStatsResponse {
+			pkt.Release()
+			continue
+		}
+		st, err := wire.DecodeCellStats(pkt.Payload)
+		pkt.Release()
+		if err != nil {
+			return fmt.Errorf("decode stats: %w", err)
+		}
+		fmt.Printf("cell %s members=%d published=%d delivered-local=%d enqueued-remote=%d dropped=%d quenches=%d auth-denied=%d\n",
+			st.Cell, st.Members, st.Published, st.DeliveredLocal,
+			st.EnqueuedRemote, st.Dropped, st.Quenches, st.AuthDenied)
+		printChannel("bus-channel ", st.BusChannel)
+		printChannel("disc-channel", st.DiscChannel)
+		return nil
+	}
+}
+
+func printChannel(label string, c wire.ChannelCounters) {
+	fmt.Printf("%s sent=%d acked=%d retransmits=%d fast-retransmits=%d failures=%d resumed=%d stream-resets=%d\n",
+		label, c.Sent, c.Acked, c.Retransmits, c.FastRetransmits,
+		c.Failures, c.Resumed, c.StreamResets)
+	fmt.Printf("%s received=%d dups-dropped=%d buffered=%d stale-acks=%d stale-epoch=%d unreliable-in=%d unreliable-out=%d\n",
+		label, c.Received, c.DupsDropped, c.Buffered, c.StaleAcks,
+		c.StaleEpoch, c.UnreliableIn, c.UnreliableOut)
+	fmt.Printf("%s pool-acquired=%d pool-recycled=%d pool-leaked=%d\n",
+		label, c.PacketsAcquired, c.PacketsRecycled, c.Leaked())
 }
 
 // renderEvent prints one event as a single line.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -79,9 +80,9 @@ func run() error {
 
 	// The defibrillator joins; its proxy subscribes to actuate events
 	// addressed to it on the device's behalf (§III-B).
-	defib, err := smc.JoinCell(attach(0x2001), smc.DeviceConfig{
+	defib, err := smc.JoinCellWithRetry(context.Background(), attach(0x2001), smc.DeviceConfig{
 		Type: "defibrillator", Name: "defib-1", Secret: secret,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}
@@ -110,9 +111,9 @@ func run() error {
 
 	var sims []*sensor.Sim
 	for i, spec := range specs {
-		dev, err := smc.JoinCell(attach(uint64(0x3001+i)), smc.DeviceConfig{
+		dev, err := smc.JoinCellWithRetry(context.Background(), attach(uint64(0x3001+i)), smc.DeviceConfig{
 			Type: spec.dt, Name: spec.name, Secret: secret,
-		})
+		}, smc.RetryConfig{})
 		if err != nil {
 			return fmt.Errorf("join %s: %w", spec.name, err)
 		}
@@ -122,9 +123,9 @@ func run() error {
 	fmt.Printf("%d sensors joined; cell members: %d\n", len(sims), len(cell.Discovery.Members()))
 
 	// A nurse's monitor watches translated readings and alarms.
-	monitor, err := smc.JoinCell(attach(0x4001), smc.DeviceConfig{
+	monitor, err := smc.JoinCellWithRetry(context.Background(), attach(0x4001), smc.DeviceConfig{
 		Type: "generic", Name: "nurse-monitor", Secret: secret,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}

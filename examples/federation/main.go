@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -77,9 +78,9 @@ obligation hr-high {
 	fmt.Printf("federation link up: importing alarms from %q\n", link.RemoteCell())
 
 	// The nurse's station is a member of the ward cell only.
-	nurse, err := smc.JoinCell(attach(0x3002), smc.DeviceConfig{
+	nurse, err := smc.JoinCellWithRetry(context.Background(), attach(0x3002), smc.DeviceConfig{
 		Type: "generic", Name: "nurse-station", Secret: wardSecret, Cell: "ward-3",
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -67,9 +68,9 @@ func run() error {
 
 	// The wearable pendant publishes periodic wellbeing pings; the
 	// base station subscribes.
-	base, err := smc.JoinCell(attach(0x2001), smc.DeviceConfig{
+	base, err := smc.JoinCellWithRetry(context.Background(), attach(0x2001), smc.DeviceConfig{
 		Type: "generic", Name: "base-station", Secret: secret,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}
@@ -78,9 +79,9 @@ func run() error {
 		return err
 	}
 
-	pendant, err := smc.JoinCell(attach(0x2002), smc.DeviceConfig{
+	pendant, err := smc.JoinCellWithRetry(context.Background(), attach(0x2002), smc.DeviceConfig{
 		Type: "generic", Name: "pendant", Secret: secret,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,9 +47,9 @@ func run() error {
 		"ward-3", cell.Bus.ID(), cell.Discovery.ID(), cell.Bus.MatcherName())
 
 	// A subscriber device joins through discovery (authenticated).
-	monitor, err := smc.JoinCell(attach(0x2001), smc.DeviceConfig{
+	monitor, err := smc.JoinCellWithRetry(context.Background(), attach(0x2001), smc.DeviceConfig{
 		Type: "generic", Name: "bedside-monitor", Secret: secret,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}
@@ -64,9 +65,9 @@ func run() error {
 	}
 
 	// A publisher device joins and raises two events; only one matches.
-	probe, err := smc.JoinCell(attach(0x2002), smc.DeviceConfig{
+	probe, err := smc.JoinCellWithRetry(context.Background(), attach(0x2002), smc.DeviceConfig{
 		Type: "generic", Name: "probe", Secret: secret,
-	})
+	}, smc.RetryConfig{})
 	if err != nil {
 		return err
 	}

@@ -184,6 +184,8 @@ func (c *Client) Unsubscribe(f *event.Filter) error {
 }
 
 // Events yields events pushed by the bus (via this member's proxy).
+// The channel is closed when the client shuts down, so ranging over it
+// terminates after Close.
 //
 // Delivered events are pooled, borrowing decodes: their attribute
 // strings alias the inbound packet's buffer, which stays alive exactly
@@ -203,7 +205,10 @@ func (c *Client) NextEvent(d time.Duration) (*event.Event, error) {
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
-	case e := <-c.inbox:
+	case e, ok := <-c.inbox:
+		if !ok {
+			return nil, reliable.ErrClosed
+		}
 		return e, nil
 	case <-timer.C:
 		return nil, transport.ErrTimeout
@@ -224,6 +229,10 @@ func (c *Client) Close() error {
 
 func (c *Client) recvLoop() {
 	defer c.wg.Done()
+	// This loop is the only sender on both consumer channels; closing
+	// them on exit lets `for range client.Events()` terminate.
+	defer close(c.inbox)
+	defer close(c.data)
 	for {
 		pkt, err := c.ch.Recv()
 		if err != nil {

@@ -83,6 +83,11 @@ type ServiceConfig struct {
 	// Unregister, when set, is called when a member is purged,
 	// before the Purge Member event is emitted.
 	Unregister func(id ident.ID)
+	// StatsProvider, when set, enables the management plane: a
+	// PktStatsRequest from any endpoint (admission not required — the
+	// observation plane must work exactly when the data plane is in
+	// trouble) is answered with the encoded snapshot it returns.
+	StatsProvider func() wire.CellStats
 }
 
 func (c *ServiceConfig) fillDefaults() {
@@ -253,6 +258,8 @@ func (s *Service) recvLoop() {
 			s.handleHeartbeat(pkt.Sender)
 		case wire.PktLeave:
 			s.handleLeave(pkt.Sender)
+		case wire.PktStatsRequest:
+			s.handleStatsRequest(pkt.Sender)
 		default:
 			// Bus traffic does not belong here; ignore.
 		}
@@ -342,6 +349,18 @@ func (s *Service) reject(to ident.ID, reason string) {
 	s.mu.Unlock()
 	payload := wire.AppendJoinReject(nil, wire.JoinReject{Reason: reason})
 	_ = s.ch.SendUnreliable(to, wire.PktJoinReject, payload)
+}
+
+// handleStatsRequest answers a management-plane snapshot query. The
+// reply is a reliable fire-and-forget send: it must not block the
+// receive loop, and a lost response is recovered by the requester
+// retrying the query.
+func (s *Service) handleStatsRequest(to ident.ID) {
+	if s.cfg.StatsProvider == nil {
+		return
+	}
+	payload := wire.AppendCellStats(nil, s.cfg.StatsProvider())
+	_ = s.ch.SendFireForget(to, wire.PktStatsResponse, payload)
 }
 
 func (s *Service) handleHeartbeat(id ident.ID) {

@@ -307,6 +307,7 @@ type destState struct {
 	nfree    int
 	attempts int // retransmit rounds since last ack progress
 	dupAcks  int
+	gapAcks  int // consecutive acks regressed below the window base
 	fastRetx bool
 	deadline time.Time // retransmit deadline while inflight > 0
 	gone     bool      // forgotten or channel closed
@@ -576,6 +577,7 @@ func (c *Channel) resetStreamLocked(ds *destState) {
 	ds.inflight = 0 // retransmit everything under the new epoch
 	ds.attempts = 0
 	ds.dupAcks = 0
+	ds.gapAcks = 0
 	ds.fastRetx = false
 	ds.deadline = time.Time{}
 	c.ctr.streamResets.Add(1)
@@ -816,6 +818,57 @@ func (c *Channel) RecvTimeout(d time.Duration) (*wire.Packet, error) {
 	}
 }
 
+// Pending reports how many reliable sends are still unresolved: queued
+// or in flight towards any destination, not yet acknowledged and not
+// yet failed. Stashed give-up packets (kept only for resume-by-
+// identical-resend) are already settled and therefore not counted. A
+// channel whose Pending has reached zero has settled every send a
+// caller could still be waiting on — the precondition for a graceful
+// shutdown.
+func (c *Channel) Pending() int {
+	c.mu.Lock()
+	dests := make([]*destState, 0, len(c.dests))
+	for _, ds := range c.dests {
+		dests = append(dests, ds)
+	}
+	c.mu.Unlock()
+	pending := 0
+	for _, ds := range dests {
+		ds.mu.Lock()
+		pending += len(ds.queue)
+		ds.mu.Unlock()
+	}
+	return pending
+}
+
+// ErrDrainTimeout reports that Drain gave up before the send queues
+// emptied.
+var ErrDrainTimeout = errors.New("reliable: drain timed out")
+
+// Drain waits until every queued reliable send has resolved (been
+// acknowledged or failed by the retry budget) or the timeout lapses.
+// It is the graceful half of shutdown: Drain then Close lets in-flight
+// deliveries finish instead of failing them with ErrClosed. Drain does
+// not stop new sends from being enqueued; quiesce callers first.
+func (c *Channel) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Pending() == 0 {
+			return nil
+		}
+		select {
+		case <-c.done:
+			// Close already ran: every pending send has been failed.
+			return nil
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: %d sends still pending", ErrDrainTimeout, c.Pending())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Forget discards reliability state for a purged member so that a
 // returning device with the same ID starts a fresh stream. Packets
 // still pending towards the member fail with ErrGaveUp. The outbound
@@ -938,10 +991,33 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if pkt.Epoch != ds.epoch {
+		if epochNewer(pkt.Epoch, ds.epoch) && !ds.gone {
+			// The receiver acknowledges an epoch this channel has never
+			// used: its ordering state survives from a previous
+			// incarnation of this endpoint restarted under the same
+			// identity. Adopt the epoch and reset past it so the next
+			// transmission opens a provably fresh stream.
+			ds.epoch = pkt.Epoch
+			c.resetStreamLocked(ds)
+			ds.kick()
+			return
+		}
 		c.ctr.staleAcks.Add(1)
 		return
 	}
 	cum := pkt.Seq
+	if cum > ds.nextSeq && !ds.gone {
+		// An ack covering sequence numbers this stream never sent can
+		// only come from a receiver replaying cumulative state left by
+		// a previous incarnation of this endpoint. Settling against it
+		// would report success for packets the receiver silently
+		// dropped as duplicates, so restart the stream under a fresh
+		// epoch instead; the receiver resets on the first new-epoch
+		// packet and the stream converges in one round trip.
+		c.resetStreamLocked(ds)
+		ds.kick()
+		return
+	}
 	progress := 0
 	for len(ds.queue) > 0 && ds.queue[0].seq <= cum {
 		op := ds.queue[0]
@@ -960,6 +1036,7 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 		c.ctr.acked.Add(uint64(progress))
 		ds.attempts = 0
 		ds.dupAcks = 0
+		ds.gapAcks = 0
 		if ds.inflight > 0 {
 			ds.deadline = time.Now().Add(c.backoff(0))
 		} else {
@@ -970,8 +1047,22 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 		// Duplicate cumulative ack: the receiver is waiting for our
 		// base packet.
 		ds.dupAcks++
+		ds.gapAcks = 0
 		if ds.dupAcks == 3 && c.cfg.Window > 1 {
 			ds.fastRetx = true
+			ds.kick()
+		}
+	case ds.inflight > 0 && cum+1 < ds.queue[0].seq:
+		// The receiver is waiting for packets below our window base —
+		// sequence numbers this stream already settled and will never
+		// retransmit, so the gap is unfillable: its cumulative state
+		// regressed (the receiver restarted, or its state was purged).
+		// One stray reordered ack must not reset a healthy stream, so
+		// demand a persistent signal: repeated regressed acks with a
+		// retransmission round behind them and no progress in between.
+		ds.gapAcks++
+		if ds.gapAcks >= 3 && ds.attempts > 0 {
+			c.resetStreamLocked(ds)
 			ds.kick()
 		}
 	case len(ds.queue) == 0:
@@ -1013,8 +1104,14 @@ func (c *Channel) handleData(pkt *wire.Packet) {
 			}
 		} else {
 			c.ctr.staleEpoch.Add(1)
+			epoch, cum := st.epoch, st.cum
 			c.rmu.Unlock()
 			pkt.Release()
+			// Acknowledge with this receiver's actual position: a
+			// restarted sender stuck behind state we hold for its
+			// previous incarnation learns of it from this ack and
+			// resets its stream (see handleAck).
+			c.sendAck(sender, epoch, cum)
 			return
 		}
 	}

@@ -181,7 +181,10 @@ func (a *ActuatorSim) Start(data <-chan []byte) {
 		defer close(a.done)
 		for {
 			select {
-			case buf := <-data:
+			case buf, ok := <-data:
+				if !ok {
+					return // client shut down
+				}
 				cmd, err := DecodeCommand(buf)
 				a.mu.Lock()
 				if err != nil {

@@ -1,6 +1,7 @@
 package smc_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -36,21 +37,19 @@ func TestDeliveryContractOverLossyLink(t *testing.T) {
 	_ = cell
 
 	join := func(id uint64, name string) *smc.Device {
-		// Joins themselves ride the lossy link; retry a few times.
-		var dev *smc.Device
-		var err error
-		for attempt := 0; attempt < 5; attempt++ {
-			dev, err = smc.JoinCell(attach(t, net, id), smc.DeviceConfig{
+		// Joins themselves ride the lossy link; JoinCellWithRetry's
+		// bounded backoff handles the losses.
+		dev, err := smc.JoinCellWithRetry(context.Background(), attach(t, net, id),
+			smc.DeviceConfig{
 				Type: "generic", Name: name, Secret: testSecret,
 				JoinTimeout: 5 * time.Second,
 				Reliable:    cfg.Reliable,
-			})
-			if err == nil {
-				return dev
-			}
+			},
+			smc.RetryConfig{Attempts: 5, BaseDelay: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("join %s: %v", name, err)
 		}
-		t.Fatalf("join %s: %v", name, err)
-		return nil
+		return dev
 	}
 
 	sub := join(0xC001, "chaos-sub")

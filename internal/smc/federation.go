@@ -111,7 +111,10 @@ func (l *FederationLink) pump() {
 	defer close(l.done)
 	for {
 		select {
-		case e := <-l.dev.Client.Events():
+		case e, ok := <-l.dev.Client.Events():
+			if !ok {
+				return // remote client shut down
+			}
 			if e.Has(AttrFederatedFrom) {
 				l.mu.Lock()
 				l.skipped++

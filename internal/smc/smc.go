@@ -5,8 +5,10 @@
 package smc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/amuse/smc/internal/bootstrap"
@@ -20,6 +22,7 @@ import (
 	"github.com/amuse/smc/internal/reliable"
 	"github.com/amuse/smc/internal/sensor"
 	"github.com/amuse/smc/internal/transport"
+	"github.com/amuse/smc/internal/wire"
 )
 
 // Config configures a cell.
@@ -53,7 +56,10 @@ type Cell struct {
 	Policy    *policy.Engine
 	Registry  *bootstrap.Registry
 
-	started bool
+	cellName string
+	busCh    *reliable.Channel
+	discCh   *reliable.Channel
+	started  bool
 }
 
 // NewCell wires a cell over two transport endpoints: one for the event
@@ -92,6 +98,7 @@ func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
 	}
 
 	discCh := reliable.New(discTr, cfg.Reliable)
+	c := &Cell{cellName: cfg.Cell, busCh: busCh, discCh: discCh}
 	disc, err := discovery.NewService(discCh, b.Local("discovery"), discovery.ServiceConfig{
 		Cell:           cfg.Cell,
 		Secret:         cfg.Secret,
@@ -106,6 +113,9 @@ func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
 		Unregister: func(id ident.ID) {
 			b.RemoveMember(id)
 		},
+		// Management plane: any endpoint may query the cell's health
+		// and leak counters (smctap -stats, the chaos harness).
+		StatsProvider: c.StatsReport,
 	})
 	if err != nil {
 		_ = busCh.Close()
@@ -113,7 +123,8 @@ func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
 		return nil, err
 	}
 
-	return &Cell{Bus: b, Discovery: disc, Policy: eng, Registry: reg}, nil
+	c.Bus, c.Discovery, c.Policy, c.Registry = b, disc, eng, reg
+	return c, nil
 }
 
 // Start brings the cell online: the bus starts processing and the
@@ -127,7 +138,8 @@ func (c *Cell) Start() {
 	c.Discovery.Start()
 }
 
-// Close shuts the cell down.
+// Close shuts the cell down immediately: in-flight reliable sends fail
+// with ErrClosed. For a graceful stop see Shutdown.
 func (c *Cell) Close() error {
 	discErr := c.Discovery.Close()
 	busErr := c.Bus.Close()
@@ -135,6 +147,81 @@ func (c *Cell) Close() error {
 		return discErr
 	}
 	return busErr
+}
+
+// Shutdown stops the cell gracefully: it first drains in-flight
+// reliable deliveries on both endpoints (bounded by drainTimeout
+// overall), then closes the cell. A drain that times out is reported,
+// but the cell is closed regardless — a hung destination must not keep
+// the daemon alive.
+func (c *Cell) Shutdown(drainTimeout time.Duration) error {
+	deadline := time.Now().Add(drainTimeout)
+	drainErr := c.busCh.Drain(drainTimeout)
+	if remain := time.Until(deadline); remain > 0 {
+		if err := c.discCh.Drain(remain); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return drainErr
+}
+
+// ChannelStats snapshots the cell's two reliable endpoints.
+func (c *Cell) ChannelStats() (busCh, discCh reliable.Stats) {
+	return c.busCh.Stats(), c.discCh.Stats()
+}
+
+// LeakCheck reports the combined inbound packet-pool balance of both
+// endpoints. On a cleanly shut down (or fully quiesced) cell clean is
+// true: every pooled packet acquired was recycled.
+func (c *Cell) LeakCheck() (acquired, recycled uint64, clean bool) {
+	bs, ds := c.ChannelStats()
+	acquired = bs.PacketsAcquired + ds.PacketsAcquired
+	recycled = bs.PacketsRecycled + ds.PacketsRecycled
+	return acquired, recycled, acquired == recycled
+}
+
+// StatsReport composes the management-plane snapshot answered to
+// PktStatsRequest queries.
+func (c *Cell) StatsReport() wire.CellStats {
+	bst := c.Bus.Stats()
+	bs, ds := c.ChannelStats()
+	return wire.CellStats{
+		Cell:           c.cellName,
+		Members:        uint32(len(c.Discovery.Members())),
+		Published:      bst.Published,
+		DeliveredLocal: bst.DeliveredLocal,
+		EnqueuedRemote: bst.EnqueuedRemote,
+		Dropped:        bst.Dropped,
+		Quenches:       bst.Quenches,
+		AuthDenied:     bst.AuthDenied,
+		BusChannel:     channelCounters(bs),
+		DiscChannel:    channelCounters(ds),
+	}
+}
+
+// channelCounters converts a reliable snapshot to its wire form.
+func channelCounters(s reliable.Stats) wire.ChannelCounters {
+	return wire.ChannelCounters{
+		Sent:            s.Sent,
+		Acked:           s.Acked,
+		Retransmits:     s.Retransmits,
+		FastRetransmits: s.FastRetransmits,
+		Failures:        s.Failures,
+		Resumed:         s.Resumed,
+		StreamResets:    s.StreamResets,
+		Received:        s.Received,
+		DupsDropped:     s.DupsDropped,
+		Buffered:        s.Buffered,
+		StaleAcks:       s.StaleAcks,
+		StaleEpoch:      s.StaleEpoch,
+		UnreliableIn:    s.UnreliableIn,
+		UnreliableOut:   s.UnreliableOut,
+		PacketsAcquired: s.PacketsAcquired,
+		PacketsRecycled: s.PacketsRecycled,
+	}
 }
 
 // DeviceConfig configures a device-side join.
@@ -191,6 +278,90 @@ func JoinCell(tr transport.Transport, cfg DeviceConfig) (*Device, error) {
 		ch:     ch,
 		hb:     hb,
 	}, nil
+}
+
+// RetryConfig bounds JoinCellWithRetry's backoff.
+type RetryConfig struct {
+	// Attempts is the maximum number of join attempts (default 6).
+	Attempts int
+	// BaseDelay is the first backoff (default 150 ms); it doubles per
+	// failed attempt up to MaxDelay (default 3 s). The actual sleep is
+	// jittered uniformly over [delay/2, delay) so that a cell restart
+	// does not resynchronise every waiting device into one thundering
+	// join burst.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (rc *RetryConfig) fillDefaults() {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 6
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 150 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 3 * time.Second
+	}
+}
+
+// JoinCellWithRetry is JoinCell with bounded exponential backoff and
+// jitter around the admission exchange: the paper's devices join over
+// lossy wireless links where a beacon or verdict is routinely lost, so
+// a single attempt is the wrong default for anything unattended. The
+// reliable channel (and its stream state) is created once and reused
+// across attempts; ctx cancels both the backoff sleeps and further
+// attempts. On final failure the channel — and with it the transport —
+// is closed, exactly like a failed JoinCell.
+func JoinCellWithRetry(ctx context.Context, tr transport.Transport, cfg DeviceConfig, rc RetryConfig) (*Device, error) {
+	rc.fillDefaults()
+	ch := reliable.New(tr, cfg.Reliable)
+	var lastErr error
+	delay := rc.BaseDelay
+	for attempt := 0; attempt < rc.Attempts; attempt++ {
+		if attempt > 0 {
+			jittered := delay/2 + time.Duration(rand.Int63n(int64(delay/2)))
+			timer := time.NewTimer(jittered)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				_ = ch.Close()
+				return nil, ctx.Err()
+			}
+			if delay *= 2; delay > rc.MaxDelay {
+				delay = rc.MaxDelay
+			}
+		}
+		res, err := discovery.Join(ch, discovery.JoinConfig{
+			DeviceType: cfg.Type,
+			DeviceName: cfg.Name,
+			Secret:     cfg.Secret,
+			Cell:       cfg.Cell,
+			Discovery:  cfg.Discovery,
+			Timeout:    cfg.JoinTimeout,
+		})
+		if err == nil {
+			hb := discovery.StartHeartbeats(ch, res.Discovery, res.Lease/3)
+			return &Device{
+				Client: client.New(ch, res.Bus),
+				Join:   res,
+				ch:     ch,
+				hb:     hb,
+			}, nil
+		}
+		lastErr = err
+		if errors.Is(err, discovery.ErrRejected) || ctx.Err() != nil {
+			// Rejection is a verdict, not noise; retrying with the same
+			// credentials cannot succeed.
+			break
+		}
+	}
+	_ = ch.Close()
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return nil, fmt.Errorf("smc: join retries exhausted: %w", lastErr)
 }
 
 // Leave announces departure to the cell (immediate purge) and shuts

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -60,6 +61,28 @@ func WithPort(port int) UDPOption {
 // WithQueueDepth sets the receive queue depth.
 func WithQueueDepth(n int) UDPOption {
 	return func(c *udpConfig) { c.queueDepth = n }
+}
+
+// WithAddr binds the transport to a "host:port" string, the shape the
+// daemons take on their -addr flags. Port 0 lets the OS choose; the
+// bound address is then available from LocalAddr. An empty host keeps
+// the loopback default.
+func WithAddr(addr string) (UDPOption, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("bad listen address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 || port > 65535 {
+		return nil, fmt.Errorf("bad listen port %q", portStr)
+	}
+	ip := net.IPv4(127, 0, 0, 1)
+	if host != "" {
+		if ip = net.ParseIP(host); ip == nil {
+			return nil, fmt.Errorf("bad listen host %q", host)
+		}
+	}
+	return func(c *udpConfig) { c.listenIP = ip; c.port = port }, nil
 }
 
 // NewUDPTransport opens a datagram socket and derives the service ID

@@ -67,6 +67,12 @@ const (
 	// PktData carries raw device bytes (sensor native encoding) for a
 	// proxy to translate (§III-B).
 	PktData
+	// PktStatsRequest asks a discovery service for a cell health
+	// snapshot (management/observation plane; no admission required).
+	PktStatsRequest
+	// PktStatsResponse answers a PktStatsRequest with an encoded
+	// CellStats payload.
+	PktStatsResponse
 )
 
 // String names the packet type.
@@ -98,6 +104,10 @@ func (t PacketType) String() string {
 		return "unquench"
 	case PktData:
 		return "data"
+	case PktStatsRequest:
+		return "stats-request"
+	case PktStatsResponse:
+		return "stats-response"
 	default:
 		return "invalid"
 	}

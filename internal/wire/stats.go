@@ -1,0 +1,147 @@
+package wire
+
+import "fmt"
+
+// Cell health snapshot exchanged on the management plane
+// (PktStatsRequest / PktStatsResponse): a one-shot, black-box view of
+// a live cell — membership, bus activity, and the reliable channels'
+// counters including the packet-pool leak check
+// (PacketsAcquired/PacketsRecycled) — so an operator or a test harness
+// can health- and leak-check a cell without attaching a debugger.
+
+// ChannelCounters mirrors one reliable channel's Stats on the wire.
+type ChannelCounters struct {
+	Sent            uint64
+	Acked           uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Failures        uint64
+	Resumed         uint64
+	StreamResets    uint64
+	Received        uint64
+	DupsDropped     uint64
+	Buffered        uint64
+	StaleAcks       uint64
+	StaleEpoch      uint64
+	UnreliableIn    uint64
+	UnreliableOut   uint64
+	PacketsAcquired uint64
+	PacketsRecycled uint64
+}
+
+// Leaked reports the packet-pool gap: packets acquired but never
+// recycled. On a quiesced channel this should be zero.
+func (c ChannelCounters) Leaked() uint64 {
+	if c.PacketsAcquired < c.PacketsRecycled {
+		return 0
+	}
+	return c.PacketsAcquired - c.PacketsRecycled
+}
+
+// CellStats is the full management-plane snapshot of one cell.
+type CellStats struct {
+	// Cell is the cell's name.
+	Cell string
+	// Members is the discovery service's current member count.
+	Members uint32
+	// Bus activity counters (a subset of the bus's Stats).
+	Published      uint64
+	DeliveredLocal uint64
+	EnqueuedRemote uint64
+	Dropped        uint64
+	Quenches       uint64
+	AuthDenied     uint64
+	// BusChannel / DiscChannel are the two reliable endpoints.
+	BusChannel  ChannelCounters
+	DiscChannel ChannelCounters
+}
+
+func appendChannelCounters(dst []byte, c ChannelCounters) []byte {
+	for _, v := range [...]uint64{
+		c.Sent, c.Acked, c.Retransmits, c.FastRetransmits, c.Failures,
+		c.Resumed, c.StreamResets, c.Received, c.DupsDropped, c.Buffered,
+		c.StaleAcks, c.StaleEpoch, c.UnreliableIn, c.UnreliableOut,
+		c.PacketsAcquired, c.PacketsRecycled,
+	} {
+		dst = appendUvarint(dst, v)
+	}
+	return dst
+}
+
+func (r *reader) channelCounters() (ChannelCounters, error) {
+	var vals [16]uint64
+	for i := range vals {
+		v, err := r.uvarint()
+		if err != nil {
+			return ChannelCounters{}, err
+		}
+		vals[i] = v
+	}
+	return ChannelCounters{
+		Sent: vals[0], Acked: vals[1], Retransmits: vals[2],
+		FastRetransmits: vals[3], Failures: vals[4], Resumed: vals[5],
+		StreamResets: vals[6], Received: vals[7], DupsDropped: vals[8],
+		Buffered: vals[9], StaleAcks: vals[10], StaleEpoch: vals[11],
+		UnreliableIn: vals[12], UnreliableOut: vals[13],
+		PacketsAcquired: vals[14], PacketsRecycled: vals[15],
+	}, nil
+}
+
+// AppendCellStats encodes the snapshot payload.
+func AppendCellStats(dst []byte, s CellStats) []byte {
+	dst = appendString(dst, s.Cell)
+	dst = appendUvarint(dst, uint64(s.Members))
+	for _, v := range [...]uint64{
+		s.Published, s.DeliveredLocal, s.EnqueuedRemote,
+		s.Dropped, s.Quenches, s.AuthDenied,
+	} {
+		dst = appendUvarint(dst, v)
+	}
+	dst = appendChannelCounters(dst, s.BusChannel)
+	dst = appendChannelCounters(dst, s.DiscChannel)
+	return dst
+}
+
+// DecodeCellStats decodes a snapshot payload.
+func DecodeCellStats(buf []byte) (CellStats, error) {
+	r := &reader{buf: buf}
+	cell, err := r.string()
+	if err != nil {
+		return CellStats{}, err
+	}
+	members, err := r.uvarint()
+	if err != nil {
+		return CellStats{}, err
+	}
+	var bus [6]uint64
+	for i := range bus {
+		v, err := r.uvarint()
+		if err != nil {
+			return CellStats{}, err
+		}
+		bus[i] = v
+	}
+	busCh, err := r.channelCounters()
+	if err != nil {
+		return CellStats{}, err
+	}
+	discCh, err := r.channelCounters()
+	if err != nil {
+		return CellStats{}, err
+	}
+	if r.remaining() != 0 {
+		return CellStats{}, fmt.Errorf("%w: cell-stats trailing bytes", ErrBadEncoding)
+	}
+	return CellStats{
+		Cell:           cell,
+		Members:        uint32(members),
+		Published:      bus[0],
+		DeliveredLocal: bus[1],
+		EnqueuedRemote: bus[2],
+		Dropped:        bus[3],
+		Quenches:       bus[4],
+		AuthDenied:     bus[5],
+		BusChannel:     busCh,
+		DiscChannel:    discCh,
+	}, nil
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestCellStatsRoundTrip(t *testing.T) {
+	in := CellStats{
+		Cell:           "ward-3",
+		Members:        17,
+		Published:      101,
+		DeliveredLocal: 42,
+		EnqueuedRemote: 59,
+		Dropped:        3,
+		Quenches:       2,
+		AuthDenied:     1,
+		BusChannel: ChannelCounters{
+			Sent: 1000, Acked: 998, Retransmits: 12, FastRetransmits: 2,
+			Failures: 2, Resumed: 1, StreamResets: 1, Received: 2000,
+			DupsDropped: 5, Buffered: 7, StaleAcks: 3, StaleEpoch: 1,
+			UnreliableIn: 40, UnreliableOut: 41,
+			PacketsAcquired: 2050, PacketsRecycled: 2049,
+		},
+		DiscChannel: ChannelCounters{
+			Sent: 10, Acked: 10, Received: 30,
+			PacketsAcquired: 30, PacketsRecycled: 30,
+		},
+	}
+	buf := AppendCellStats(nil, in)
+	out, err := DecodeCellStats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if got := out.BusChannel.Leaked(); got != 1 {
+		t.Fatalf("bus leak = %d, want 1", got)
+	}
+	if got := out.DiscChannel.Leaked(); got != 0 {
+		t.Fatalf("disc leak = %d, want 0", got)
+	}
+}
+
+func TestCellStatsDecodeRejectsTruncationAndTrailer(t *testing.T) {
+	buf := AppendCellStats(nil, CellStats{Cell: "c", Members: 1})
+	for i := 0; i < len(buf); i++ {
+		if _, err := DecodeCellStats(buf[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := DecodeCellStats(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestStatsPacketTypesNamed(t *testing.T) {
+	if PktStatsRequest.String() != "stats-request" || PktStatsResponse.String() != "stats-response" {
+		t.Fatalf("packet type names: %s / %s", PktStatsRequest, PktStatsResponse)
+	}
+}

@@ -102,6 +102,8 @@ type (
 	Cell = smccore.Cell
 	// DeviceConfig configures a device-side join.
 	DeviceConfig = smccore.DeviceConfig
+	// RetryConfig bounds JoinCellWithRetry's backoff.
+	RetryConfig = smccore.RetryConfig
 	// Device is a joined member (client + heartbeats).
 	Device = smccore.Device
 	// Client is a member's connection to the event bus.
@@ -118,6 +120,9 @@ var (
 	NewCell = smccore.NewCell
 	// JoinCell performs the device-side discovery/admission flow.
 	JoinCell = smccore.JoinCell
+	// JoinCellWithRetry is JoinCell with bounded exponential backoff
+	// and jitter; the right default for devices on lossy links.
+	JoinCellWithRetry = smccore.JoinCellWithRetry
 	// Federate joins a peer cell and imports matching events.
 	Federate = smccore.Federate
 )

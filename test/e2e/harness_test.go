@@ -1,0 +1,737 @@
+// Package e2e is the black-box chaos harness: it compiles the real
+// daemon binaries, spawns cells as separate processes over loopback
+// UDP, drives a seeded weighted random action stream against them, and
+// verifies convergence invariants at quiesce. See README.md in this
+// directory for the methodology and the regression-seed workflow.
+package e2e
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+	"github.com/amuse/smc/internal/reliable"
+	smcpkg "github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/transport"
+	"github.com/amuse/smc/internal/wire"
+)
+
+// ---------------------------------------------------------------------
+// Binary build (once per test run)
+// ---------------------------------------------------------------------
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildBinaries compiles smcd, sensorsim and smctap exactly once per
+// run and returns the directory holding them.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "smc-e2e-bin-")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir,
+			"./cmd/smcd", "./cmd/sensorsim", "./cmd/smctap")
+		cmd.Dir = "../.." // module root relative to test/e2e
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building binaries: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildDir
+}
+
+// ---------------------------------------------------------------------
+// Cell processes
+// ---------------------------------------------------------------------
+
+// cellProc is one smcd process. A cell slot keeps its name and secret
+// across kill/restart; the process, its IDs and its ports change.
+type cellProc struct {
+	slot   int
+	name   string
+	secret string
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	alive    bool
+	discID   ident.ID
+	busID    ident.ID
+	lines    []string
+	readyCh  chan struct{}
+	exitedCh chan struct{}
+	exitErr  error
+}
+
+const (
+	cellLease = 1 * time.Second
+	cellGrace = 2 * time.Second
+)
+
+// startCell launches a fresh smcd for the slot and waits for its ready
+// line (which is the only way to learn the ephemeral ports).
+func (h *harness) startCell(c *cellProc, policyFile string) error {
+	args := []string{
+		"-cell", c.name, "-secret", c.secret,
+		"-addr", "127.0.0.1:0", "-disc-addr", "127.0.0.1:0",
+		"-lease", cellLease.String(), "-grace", cellGrace.String(),
+		"-drain", "5s",
+	}
+	if policyFile != "" {
+		args = append(args, "-policies", policyFile)
+	}
+	cmd := exec.Command(filepath.Join(h.binDir, "smcd"), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.cmd = cmd
+	c.alive = true
+	c.lines = nil
+	c.readyCh = make(chan struct{})
+	c.exitedCh = make(chan struct{})
+	c.exitErr = nil
+	ready := c.readyCh
+	exited := c.exitedCh
+	c.mu.Unlock()
+
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			c.mu.Lock()
+			c.lines = append(c.lines, line)
+			if strings.HasPrefix(line, "ready ") {
+				if err := c.parseReady(line); err == nil {
+					select {
+					case <-ready:
+					default:
+						close(ready)
+					}
+				}
+			}
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.exitErr = cmd.Wait()
+		c.mu.Unlock()
+		close(exited)
+	}()
+
+	select {
+	case <-ready:
+		h.logf("cell %s up: discovery=%s", c.name, c.discID)
+		return nil
+	case <-exited:
+		return fmt.Errorf("cell %s exited before ready: %v\n%s",
+			c.name, c.exitErr, strings.Join(c.snapshotLines(), "\n"))
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("cell %s: no ready line in 15s", c.name)
+	}
+}
+
+// parseReady extracts the service IDs from the machine-readable line:
+//
+//	ready cell=w1 bus=<id> bus-addr=<addr> discovery=<id> disc-addr=<addr>
+//
+// Caller holds c.mu.
+func (c *cellProc) parseReady(line string) error {
+	for _, f := range strings.Fields(line)[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "bus":
+			id, err := ident.Parse(v)
+			if err != nil {
+				return err
+			}
+			c.busID = id
+		case "discovery":
+			id, err := ident.Parse(v)
+			if err != nil {
+				return err
+			}
+			c.discID = id
+		}
+	}
+	if c.discID == 0 || c.busID == 0 {
+		return fmt.Errorf("ready line missing ids: %q", line)
+	}
+	return nil
+}
+
+func (c *cellProc) snapshotLines() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.lines...)
+}
+
+func (c *cellProc) discovery() ident.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.discID
+}
+
+// stopGraceful SIGTERMs the daemon and verifies the shutdown contract:
+// exit status 0 and a balanced leakcheck line. Any deviation is an
+// invariant violation (I4).
+func (h *harness) stopGraceful(c *cellProc) error {
+	c.mu.Lock()
+	cmd, alive, exited := c.cmd, c.alive, c.exitedCh
+	c.alive = false
+	c.mu.Unlock()
+	if !alive || cmd == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("cell %s: signal: %w", c.name, err)
+	}
+	select {
+	case <-exited:
+	case <-time.After(20 * time.Second):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("invariant I4: cell %s did not exit within 20s of SIGTERM", c.name)
+	}
+	c.mu.Lock()
+	exitErr := c.exitErr
+	lines := append([]string(nil), c.lines...)
+	c.mu.Unlock()
+	if exitErr != nil {
+		return fmt.Errorf("invariant I4: cell %s exited non-zero on graceful stop: %v\n%s",
+			c.name, exitErr, strings.Join(lines, "\n"))
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "leakcheck ") {
+			if !strings.Contains(line, "leaked=0") {
+				return fmt.Errorf("invariant I4: cell %s pool leak: %s", c.name, line)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("invariant I4: cell %s printed no leakcheck line", c.name)
+}
+
+// killCell SIGKILLs the daemon: the crash the invariants must survive.
+func (h *harness) killCell(c *cellProc) {
+	c.mu.Lock()
+	cmd, alive, exited := c.cmd, c.alive, c.exitedCh
+	c.alive = false
+	c.mu.Unlock()
+	if !alive || cmd == nil {
+		return
+	}
+	// A daemon that is already gone died on its own — that is a crash
+	// the harness must surface, not a kill.
+	select {
+	case <-exited:
+		c.mu.Lock()
+		exitErr, lines := c.exitErr, append([]string(nil), c.lines...)
+		c.mu.Unlock()
+		tail := lines
+		if len(tail) > 30 {
+			tail = tail[len(tail)-30:]
+		}
+		h.logf("cell %s had ALREADY exited: %v\n%s", c.name, exitErr, strings.Join(tail, "\n"))
+		return
+	default:
+	}
+	_ = cmd.Process.Kill()
+	<-exited
+	h.logf("cell %s killed", c.name)
+}
+
+// ---------------------------------------------------------------------
+// Actors
+// ---------------------------------------------------------------------
+
+// actor is a harness-owned client over a real UDP socket. Its oracle
+// identity (the "pub" attribute it stamps on events) survives device
+// restarts; its per-incarnation UDP port is kept when possible so that
+// same-ID rejoin exercises the sender-side Forget/epoch path.
+type actor struct {
+	id   int
+	cell int
+	port int
+
+	dev        *smcpkg.Device
+	tr         *transport.UDPTransport
+	alive      bool // device usable
+	left       bool // voluntarily gone for good
+	subscribed bool
+	partition  bool
+	filter     *event.Filter
+
+	nextN int64
+
+	mu    sync.Mutex
+	recv  map[int][]int64 // pub -> n sequence, in arrival order
+	fence map[int]bool    // pub -> fence observed
+}
+
+// actorReliableCfg keeps the give-up horizon short (~1 s) so killed and
+// partitioned peers do not stall the action loop or the final drain.
+var actorReliableCfg = reliable.Config{
+	RetryTimeout:    30 * time.Millisecond,
+	MaxRetryTimeout: 200 * time.Millisecond,
+	MaxRetries:      8,
+}
+
+// join (re)connects the actor to its cell, preferring its previous UDP
+// port, and restarts its receive loop. Re-subscribes if the actor held
+// a subscription.
+func (h *harness) joinActor(a *actor) error {
+	c := h.cells[a.cell]
+	if !h.cellAlive(a.cell) {
+		return fmt.Errorf("actor %d: cell %s down", a.id, c.name)
+	}
+	var tr *transport.UDPTransport
+	var err error
+	if a.port != 0 {
+		tr, err = transport.NewUDPTransport(transport.WithPort(a.port))
+	}
+	if tr == nil {
+		if tr, err = transport.NewUDPTransport(); err != nil {
+			return fmt.Errorf("actor %d transport: %w", a.id, err)
+		}
+	}
+	a.port = tr.LocalAddr().Port
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dev, err := smcpkg.JoinCellWithRetry(ctx, tr, smcpkg.DeviceConfig{
+		Type: "generic", Name: fmt.Sprintf("actor-%d", a.id),
+		Secret: []byte(c.secret), Cell: c.name, Discovery: c.discovery(),
+		JoinTimeout: 2 * time.Second,
+		Reliable:    actorReliableCfg,
+	}, smcpkg.RetryConfig{Attempts: 10, BaseDelay: 100 * time.Millisecond})
+	if err != nil {
+		return fmt.Errorf("actor %d join: %w", a.id, err)
+	}
+	a.dev, a.tr, a.alive, a.partition = dev, tr, true, false
+	go h.recvLoop(a, dev)
+	if a.subscribed {
+		if err := dev.Client.Subscribe(a.filter); err != nil {
+			return fmt.Errorf("actor %d resubscribe: %w", a.id, err)
+		}
+	}
+	return nil
+}
+
+// recvLoop records every delivered event for the oracle. It exits when
+// the device incarnation closes; the maps persist across incarnations.
+func (h *harness) recvLoop(a *actor, dev *smcpkg.Device) {
+	for e := range dev.Client.Events() {
+		pv, okP := e.Get("pub")
+		nv, okN := e.Get("n")
+		if okP && okN {
+			p64, _ := pv.Int()
+			n, _ := nv.Int()
+			_, fence := e.Get("fence")
+			_, federated := e.Get(smcpkg.AttrFederatedFrom)
+			a.mu.Lock()
+			a.recv[int(p64)] = append(a.recv[int(p64)], n)
+			if fence && !federated {
+				a.fence[int(p64)] = true
+			}
+			a.mu.Unlock()
+		}
+		e.Release()
+	}
+}
+
+// chaosEvent builds this actor's next event; n is globally monotone per
+// actor and never reused, even when the publish later fails.
+func (a *actor) chaosEvent() *event.Event {
+	n := a.nextN
+	a.nextN++
+	return event.NewTyped("chaos").SetInt("pub", int64(a.id)).SetInt("n", n)
+}
+
+// dropAll is the client-side partition: the actor's outbound datagrams
+// vanish before the socket. (Addressing encodes real IP:port, so a
+// man-in-the-middle proxy would break IDs; send-side drop is the
+// faithful way to isolate an endpoint.)
+func dropAll(from, to ident.ID, data []byte) (bool, time.Duration) {
+	return true, 0
+}
+
+// ---------------------------------------------------------------------
+// Federation relays
+// ---------------------------------------------------------------------
+
+// relay imports chaos events from cell src into cell dst, the e2e
+// equivalent of a FederationLink: subscribe there, republish here,
+// tagged so loops die after one hop.
+type relay struct {
+	src, dst int
+	devSrc   *smcpkg.Device
+	devDst   *smcpkg.Device
+	done     chan struct{}
+}
+
+func (h *harness) startRelay(src, dst int) error {
+	join := func(cell int, name string) (*smcpkg.Device, error) {
+		c := h.cells[cell]
+		tr, err := transport.NewUDPTransport()
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		return smcpkg.JoinCellWithRetry(ctx, tr, smcpkg.DeviceConfig{
+			Type: "generic", Name: name,
+			Secret: []byte(c.secret), Cell: c.name, Discovery: c.discovery(),
+			JoinTimeout: 2 * time.Second, Reliable: actorReliableCfg,
+		}, smcpkg.RetryConfig{Attempts: 6, BaseDelay: 100 * time.Millisecond})
+	}
+	name := fmt.Sprintf("relay-%d-%d", src, dst)
+	devSrc, err := join(src, name+"-out")
+	if err != nil {
+		return fmt.Errorf("relay src: %w", err)
+	}
+	devDst, err := join(dst, name+"-in")
+	if err != nil {
+		devSrc.Close()
+		return fmt.Errorf("relay dst: %w", err)
+	}
+	if err := devSrc.Client.Subscribe(event.NewFilter().WhereType("chaos")); err != nil {
+		devSrc.Close()
+		devDst.Close()
+		return fmt.Errorf("relay subscribe: %w", err)
+	}
+	r := &relay{src: src, dst: dst, devSrc: devSrc, devDst: devDst, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		for e := range devSrc.Client.Events() {
+			if e.Has(smcpkg.AttrFederatedFrom) {
+				e.Release()
+				continue
+			}
+			imported := e.Clone()
+			imported.SetStr(smcpkg.AttrFederatedFrom, h.cells[src].name)
+			e.Release()
+			_ = devDst.Client.Publish(imported) // dst congested or down: drop
+		}
+	}()
+	h.relays = append(h.relays, r)
+	h.logf("federation relay %s -> %s up", h.cells[src].name, h.cells[dst].name)
+	return nil
+}
+
+func (h *harness) stopRelays() {
+	for _, r := range h.relays {
+		r.devSrc.Close()
+		<-r.done
+		r.devDst.Close()
+	}
+	h.relays = nil
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+type harness struct {
+	t      *testing.T
+	rng    *rand.Rand
+	binDir string
+	tmpDir string
+
+	cells  []*cellProc
+	actors []*actor
+	relays []*relay
+
+	relayPairs map[[2]int]bool
+	killed     map[int]bool // cell slots currently down
+}
+
+func (h *harness) logf(format string, args ...interface{}) {
+	h.t.Logf(format, args...)
+}
+
+func (h *harness) cellAlive(slot int) bool {
+	c := h.cells[slot]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive
+}
+
+// newHarness boots nCells smcd processes and two actors per cell (both
+// publishers, the first also a subscriber from the start).
+func newHarness(t *testing.T, seed int64, nCells int) (*harness, error) {
+	h := &harness{
+		t:          t,
+		rng:        rand.New(rand.NewSource(seed)),
+		binDir:     buildBinaries(t),
+		tmpDir:     t.TempDir(),
+		relayPairs: map[[2]int]bool{},
+		killed:     map[int]bool{},
+	}
+	for i := 0; i < nCells; i++ {
+		c := &cellProc{slot: i, name: fmt.Sprintf("cell-%d", i), secret: fmt.Sprintf("secret-%d", i)}
+		h.cells = append(h.cells, c)
+		if err := h.startCell(c, ""); err != nil {
+			return h, err
+		}
+	}
+	for i := 0; i < nCells; i++ {
+		for j := 0; j < 2; j++ {
+			if _, err := h.newActor(i, j == 0); err != nil {
+				return h, err
+			}
+		}
+	}
+	return h, nil
+}
+
+func (h *harness) newActor(cell int, subscribe bool) (*actor, error) {
+	a := &actor{
+		id:    len(h.actors),
+		cell:  cell,
+		recv:  map[int][]int64{},
+		fence: map[int]bool{},
+	}
+	h.actors = append(h.actors, a)
+	if err := h.joinActor(a); err != nil {
+		return nil, err
+	}
+	if subscribe {
+		a.filter = event.NewFilter().WhereType("chaos")
+		if err := a.dev.Client.Subscribe(a.filter); err != nil {
+			return nil, err
+		}
+		a.subscribed = true
+	}
+	return a, nil
+}
+
+// liveActors returns actors with a usable device, optionally filtered
+// by predicate.
+func (h *harness) liveActors(pred func(*actor) bool) []*actor {
+	var out []*actor
+	for _, a := range h.actors {
+		if a.alive && !a.left && (pred == nil || pred(a)) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (h *harness) pick(as []*actor) *actor {
+	return as[h.rng.Intn(len(as))]
+}
+
+// ---------------------------------------------------------------------
+// Quiesce and invariants
+// ---------------------------------------------------------------------
+
+// queryStats performs the same one-shot management-plane query smctap
+// -stats does, from a throwaway endpoint.
+func queryStats(discID ident.ID) (wire.CellStats, error) {
+	tr, err := transport.NewUDPTransport()
+	if err != nil {
+		return wire.CellStats{}, err
+	}
+	ch := reliable.New(tr, reliable.Config{})
+	defer ch.Close()
+	if err := ch.Send(discID, wire.PktStatsRequest, nil); err != nil {
+		return wire.CellStats{}, err
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		pkt, err := ch.RecvTimeout(time.Until(deadline))
+		if err != nil {
+			return wire.CellStats{}, err
+		}
+		if pkt.Type != wire.PktStatsResponse {
+			pkt.Release()
+			continue
+		}
+		st, err := wire.DecodeCellStats(pkt.Payload)
+		pkt.Release()
+		return st, err
+	}
+}
+
+// quiesce heals every fault, reconnects every actor, and verifies the
+// four convergence invariants. Any error it returns names the first
+// invariant that failed.
+func (h *harness) quiesce() error {
+	// Heal: remove partitions, restart dead cells, stop relays (their
+	// imports are tagged and stay excluded from fence accounting).
+	for _, a := range h.actors {
+		if a.partition && a.tr != nil {
+			a.tr.SetSendHook(nil)
+			a.partition = false
+		}
+	}
+	for slot := range h.killed {
+		if err := h.startCell(h.cells[slot], ""); err != nil {
+			return fmt.Errorf("quiesce restart: %w", err)
+		}
+	}
+	h.killed = map[int]bool{}
+	h.stopRelays()
+
+	// Reconnect every surviving actor with a fresh incarnation — the
+	// uniform way to recover members purged during partitions — and
+	// re-establish subscriptions (Subscribe is acknowledged, so once it
+	// returns the bus routes to us).
+	for _, a := range h.actors {
+		if a.left {
+			continue
+		}
+		if a.alive && a.dev != nil {
+			_ = a.dev.Close()
+			a.alive = false
+		}
+		if err := h.joinActor(a); err != nil {
+			return fmt.Errorf("quiesce rejoin: %w", err)
+		}
+	}
+
+	// Invariant I3: every cell's own membership view must agree with
+	// the harness roster once leases settle.
+	if err := h.waitMembership(); err != nil {
+		return err
+	}
+
+	// Invariant I1: fence events published after heal must reach every
+	// same-cell subscriber — nothing reliable is lost at convergence.
+	for _, a := range h.liveActors(nil) {
+		e := a.chaosEvent().SetInt("fence", 1)
+		if err := a.dev.Client.Publish(e); err != nil {
+			return fmt.Errorf("invariant I1: actor %d fence publish: %w", a.id, err)
+		}
+	}
+	if err := h.waitFences(); err != nil {
+		return err
+	}
+
+	// Invariant I2: per-publisher FIFO with no duplicates — every
+	// recorded (subscriber, publisher) sequence is strictly increasing.
+	for _, a := range h.actors {
+		a.mu.Lock()
+		for pub, seq := range a.recv {
+			for i := 1; i < len(seq); i++ {
+				if seq[i] <= seq[i-1] {
+					a.mu.Unlock()
+					return fmt.Errorf("invariant I2: actor %d saw pub %d out of order: n=%d after n=%d (pos %d of %d)",
+						a.id, pub, seq[i], seq[i-1], i, len(seq))
+				}
+			}
+		}
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+func (h *harness) waitMembership() error {
+	deadline := time.Now().Add(cellLease + cellGrace + 15*time.Second)
+	for slot, c := range h.cells {
+		want := len(h.liveActors(func(a *actor) bool { return a.cell == slot }))
+		var last string
+		for {
+			st, err := queryStats(c.discovery())
+			if err == nil && int(st.Members) == want {
+				break
+			}
+			if err != nil {
+				last = err.Error()
+			} else {
+				last = fmt.Sprintf("members=%d want=%d", st.Members, want)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("invariant I3: cell %s membership never agreed: %s", c.name, last)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+func (h *harness) waitFences() error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		missing := ""
+		for _, sub := range h.liveActors(func(a *actor) bool { return a.subscribed }) {
+			for _, pub := range h.liveActors(func(a *actor) bool { return a.cell == sub.cell }) {
+				sub.mu.Lock()
+				ok := sub.fence[pub.id]
+				sub.mu.Unlock()
+				if !ok {
+					missing = fmt.Sprintf("subscriber %d missing fence from publisher %d (cell %s)",
+						sub.id, pub.id, h.cells[sub.cell].name)
+				}
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invariant I1: %s", missing)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// teardown leaves cleanly and checks invariant I4 on every daemon.
+func (h *harness) teardown() error {
+	for _, a := range h.actors {
+		if a.alive && a.dev != nil {
+			_ = a.dev.Leave()
+			a.alive = false
+		}
+	}
+	h.stopRelays()
+	// Let leave-purges and final acks settle before asking the daemons
+	// to drain.
+	time.Sleep(500 * time.Millisecond)
+	var firstErr error
+	for _, c := range h.cells {
+		if err := h.stopGraceful(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// abort force-kills everything after a failure so the test process
+// never leaks daemons.
+func (h *harness) abort() {
+	for _, a := range h.actors {
+		if a.alive && a.dev != nil {
+			_ = a.dev.Close()
+			a.alive = false
+		}
+	}
+	h.stopRelays()
+	for _, c := range h.cells {
+		h.killCell(c)
+	}
+}

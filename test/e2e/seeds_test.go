@@ -1,0 +1,61 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// A regressionSeed is one chaos configuration that failed in the past.
+// The database (regression_seeds.json, checked in next to this file)
+// is replayed before any fresh seeds on every run, so a fixed bug
+// stays fixed.
+type regressionSeed struct {
+	Seed    int64  `json:"seed"`
+	Actions int    `json:"actions"`
+	Cells   int    `json:"cells"`
+	Added   string `json:"added,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+const regressionSeedsFile = "regression_seeds.json"
+
+func loadRegressionSeeds() ([]regressionSeed, error) {
+	data, err := os.ReadFile(regressionSeedsFile)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seeds []regressionSeed
+	if err := json.Unmarshal(data, &seeds); err != nil {
+		return nil, fmt.Errorf("%s: %w", regressionSeedsFile, err)
+	}
+	return seeds, nil
+}
+
+// recordRegressionSeed appends a failing configuration to the database
+// unless an identical entry is already present.
+func recordRegressionSeed(seed int64, actions, cells int, note string) error {
+	seeds, err := loadRegressionSeeds()
+	if err != nil {
+		return err
+	}
+	for _, s := range seeds {
+		if s.Seed == seed && s.Actions == actions && s.Cells == cells {
+			return nil
+		}
+	}
+	seeds = append(seeds, regressionSeed{
+		Seed: seed, Actions: actions, Cells: cells,
+		Added: time.Now().UTC().Format("2006-01-02"),
+		Note:  note,
+	})
+	data, err := json.MarshalIndent(seeds, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(regressionSeedsFile, append(data, '\n'), 0o644)
+}
