@@ -148,6 +148,67 @@ func BenchmarkReliableWindowE2E(b *testing.B) {
 	}
 }
 
+// lossyLAN is the batching benchmark's link: real latency and loss
+// but no bandwidth cap, so packet count — not link capacity — is the
+// bottleneck. On the bandwidth-bound USBLink coalescing cannot change
+// events/sec (the same payload bytes must cross the wire either way);
+// here every coalesced packet saves a full round of per-packet latency
+// and loss exposure, which is exactly the effect being measured.
+var lossyLAN = netsim.Profile{
+	Name:      "lossy-lan",
+	Latency:   2 * time.Millisecond,
+	Jitter:    500 * time.Microsecond,
+	Loss:      0.05,
+	Duplicate: 0.02,
+	Reorder:   0.1,
+	ReorderBy: 2 * time.Millisecond,
+}
+
+// BenchmarkReliableWindowE2EBatched is the wire-level batching variant
+// of BenchmarkReliableWindowE2E on the lossy latency-bound profile:
+// stop-and-wait (the seed's behaviour), the PR 2 sliding window alone,
+// and the window combined with 16-event coalescing at both the client
+// publish hop and the proxy delivery hop. BENCH_PR7.json pins the
+// batched/stop-and-wait ratio at ≥10×.
+func BenchmarkReliableWindowE2EBatched(b *testing.B) {
+	variants := []struct {
+		name          string
+		window, batch int
+	}{
+		{"stop-and-wait", 1, 0},
+		{"window=16", 16, 0},
+		{"window=16/batch=16", 16, 16},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			env, err := bench.NewEnv(bench.FastRaw, bench.EnvConfig{
+				Link: lossyLAN, Subscribers: 1,
+				Window: v.window, BatchEvents: v.batch,
+				BatchFlush: 200 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			// Enough in flight that size — not the flush deadline —
+			// cuts the batches.
+			inflight := 2 * v.window
+			if v.batch > 1 {
+				inflight = 2 * v.window * v.batch
+			}
+			var eps float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eps, err = env.StreamAsync(250, 400, inflight, 60*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(eps, "events/sec")
+		})
+	}
+}
+
 // BenchmarkLinkBaseline measures the raw simulated link with no bus in
 // the path — the §V in-text calibration (≈575 KB/s, ≈1.5 ms).
 func BenchmarkLinkBaseline(b *testing.B) {

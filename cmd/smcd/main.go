@@ -44,6 +44,7 @@ func run() error {
 		busAddr    = flag.String("addr", "127.0.0.1:0", "bus listen address (host:port; port 0: OS chooses)")
 		discAddr   = flag.String("disc-addr", "127.0.0.1:0", "discovery listen address (host:port; port 0: OS chooses)")
 		drain      = flag.Duration("drain", 5*time.Second, "in-flight delivery drain budget on shutdown")
+		batch      = flag.Int("batch", 0, "coalesce up to N events per outbound packet (0: off)")
 		verbose    = flag.Bool("v", false, "log policy actions and membership changes")
 	)
 	flag.Parse()
@@ -71,6 +72,7 @@ func run() error {
 		Matcher: matcher.Kind(*engine),
 		Lease:   *lease,
 		Grace:   *grace,
+		Batch:   smc.BatchConfig{Events: *batch},
 	}
 	if *verbose {
 		cfg.PolicyOptions = append(cfg.PolicyOptions,

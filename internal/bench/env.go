@@ -70,6 +70,13 @@ type EnvConfig struct {
 	// SubscribeAll: when false, subscribers are members but install
 	// no filters (the quench workload).
 	NoSubscriptions bool
+	// BatchEvents > 1 turns on wire-level event coalescing at both
+	// ends: the bus proxies gather up to BatchEvents frames per packet
+	// and the publisher's client batches its publishes the same way.
+	BatchEvents int
+	// BatchFlush is the flush-on-deadline for partial batches (0 uses
+	// the layer defaults).
+	BatchFlush time.Duration
 }
 
 // NewEnv builds the deployment. Close it when done.
@@ -99,6 +106,9 @@ func NewEnv(flavor Flavor, cfg EnvConfig) (*Env, error) {
 	if cfg.Shards > 0 {
 		opts = append(opts, bus.WithShards(cfg.Shards))
 	}
+	if cfg.BatchEvents > 1 {
+		opts = append(opts, bus.WithBatching(cfg.BatchEvents, 0, cfg.BatchFlush))
+	}
 	b := bus.New(reliable.New(busTr, relConfig(cfg.Window)), m, bootstrap.NewRegistry(), opts...)
 	b.Start()
 
@@ -112,7 +122,11 @@ func NewEnv(flavor Flavor, cfg EnvConfig) (*Env, error) {
 		if err := b.AddMember(ident.New(addr), "generic", name); err != nil {
 			return nil, err
 		}
-		return client.New(reliable.New(tr, relConfig(cfg.Window)), b.ID()), nil
+		var copts []client.Option
+		if cfg.BatchEvents > 1 {
+			copts = append(copts, client.WithPublishBatching(cfg.BatchEvents, 0, cfg.BatchFlush))
+		}
+		return client.New(reliable.New(tr, relConfig(cfg.Window)), b.ID(), copts...), nil
 	}
 
 	env.Pub, err = mkClient(0x1, "publisher")

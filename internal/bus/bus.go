@@ -161,6 +161,17 @@ func WithProxyConfig(cfg proxy.Config) Option {
 	return func(b *Bus) { b.proxyCfg = cfg }
 }
 
+// WithBatching enables outbound event coalescing on every member
+// proxy: up to events frames or maxBytes of payload per batch packet,
+// partial batches flushed after delay (see proxy.Config). It adjusts
+// only the batching knobs, composing with WithProxyConfig regardless
+// of option order. events <= 1 disables batching.
+func WithBatching(events, maxBytes int, delay time.Duration) Option {
+	return func(b *Bus) {
+		b.batchEvents, b.batchBytes, b.batchDelay = events, maxBytes, delay
+	}
+}
+
 // WithQueueDepth sets the processing queue depth of each worker shard.
 // A publisher's burst capacity is its shard's depth — the same bound a
 // single-loop bus with this depth gives — while total queued events
@@ -221,6 +232,11 @@ type Bus struct {
 	queueDepth int
 	shards     int
 
+	// WithBatching overlay, folded into proxyCfg after options run.
+	batchEvents int
+	batchBytes  int
+	batchDelay  time.Duration
+
 	// snap is the membership snapshot for the hot path; members and
 	// locals below are the canonical maps, mutated under mu only.
 	snap atomic.Pointer[membership]
@@ -277,6 +293,11 @@ func New(ch *reliable.Channel, m matcher.Matcher, reg *bootstrap.Registry, opts 
 	b.snap.Store(emptyMembership)
 	for _, o := range opts {
 		o(b)
+	}
+	if b.batchEvents > 0 {
+		b.proxyCfg.BatchEvents = b.batchEvents
+		b.proxyCfg.BatchBytes = b.batchBytes
+		b.proxyCfg.FlushDelay = b.batchDelay
 	}
 	if b.shards < 1 {
 		b.shards = 1
@@ -555,6 +576,10 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 		b.ctr.nonMember.Add(1)
 		return
 	}
+	if pkt.Flags&wire.FlagBatch != 0 {
+		b.handleEventBatch(ms, pkt)
+		return
+	}
 	// Borrowing decode into a pooled event: attribute names resolve
 	// through the intern table or alias the packet payload (the event
 	// holds a packet reference until its own storage is reclaimed), so
@@ -587,6 +612,56 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 			b.ctr.dropped.Add(1) // overload, not corruption
 		} else {
 			b.ctr.badPackets.Add(1)
+		}
+	}
+}
+
+// handleEventBatch unpacks a FlagBatch payload: each frame decodes —
+// borrowing — into its own pooled event carrying an independent
+// reference on the shared packet, then runs the same per-event
+// admission (anti-spoofing, authorisation, shard enqueue) as a
+// standalone publish. A corrupt frame stops the batch (frame bounds
+// are length-prefixed, so nothing after a bad prefix can be trusted)
+// but events already admitted stay admitted, matching the sender's
+// FIFO prefix semantics.
+func (b *Bus) handleEventBatch(ms *memberState, pkt *wire.Packet) {
+	r, err := wire.NewBatchReader(pkt.Payload)
+	if err != nil {
+		b.ctr.badPackets.Add(1)
+		return
+	}
+	for r.More() {
+		frame, err := r.Next()
+		if err != nil {
+			b.ctr.badPackets.Add(1)
+			return
+		}
+		e := event.Acquire()
+		if err := wire.DecodeBatchFrameInto(e, frame, pkt); err != nil {
+			e.Release()
+			b.ctr.badPackets.Add(1)
+			return
+		}
+		// Anti-spoofing, per frame: the batch's events carry the
+		// member's own identity no matter what each frame claims.
+		e.Sender = pkt.Sender
+		if e.Seq == 0 {
+			e.Seq = pkt.Seq
+		}
+		if b.auth != nil {
+			if err := b.auth.AuthorizePublish(pkt.Sender, ms.deviceType, e); err != nil {
+				e.Release()
+				b.ctr.authDenied.Add(1)
+				continue
+			}
+		}
+		if err := b.enqueuePublish(e); err != nil {
+			e.Release()
+			if errors.Is(err, ErrBusy) {
+				b.ctr.dropped.Add(1)
+			} else {
+				b.ctr.badPackets.Add(1)
+			}
 		}
 	}
 }

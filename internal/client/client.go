@@ -46,21 +46,53 @@ type Client struct {
 	mu    sync.Mutex
 	stats Stats
 
+	batch pubBatcher
+
 	closeOnce sync.Once
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeErr  error
 }
 
+// Option configures a Client.
+type Option func(*Client)
+
+// WithPublishBatching coalesces Publish/PublishAsync traffic into
+// batch packets (wire.FlagBatch): up to maxEvents events or maxBytes
+// of payload are framed into one reliable packet, and a partial batch
+// is flushed after delay. Each publish still gets its own completion,
+// resolved when the batch it rode in is acknowledged. Zero or
+// negative arguments fall back to 16 events, 8 KiB, 1ms.
+func WithPublishBatching(maxEvents, maxBytes int, delay time.Duration) Option {
+	return func(c *Client) {
+		if maxEvents <= 1 {
+			maxEvents = 16
+		}
+		if maxBytes <= 0 {
+			maxBytes = 8 << 10
+		}
+		if delay <= 0 {
+			delay = time.Millisecond
+		}
+		c.batch.enabled = true
+		c.batch.maxEvents = maxEvents
+		c.batch.maxBytes = maxBytes
+		c.batch.delay = delay
+	}
+}
+
 // New wraps a reliable channel (which the client then owns) and the
 // bus's service ID, and starts the receive loop.
-func New(ch *reliable.Channel, busID ident.ID) *Client {
+func New(ch *reliable.Channel, busID ident.ID, opts ...Option) *Client {
 	c := &Client{
 		ch:    ch,
 		bus:   busID,
 		inbox: make(chan *event.Event, 256),
 		data:  make(chan []byte, 256),
 		done:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	c.wg.Add(1)
 	go c.recvLoop()
@@ -118,6 +150,13 @@ func (c *Client) PublishAsync(e *event.Event) (*reliable.Completion, error) {
 	}
 	e.Sender = c.ch.LocalID()
 	e.Seq = c.pubSeq.Add(1)
+	if c.batch.enabled {
+		comp := c.publishBatched(e)
+		c.mu.Lock()
+		c.stats.Published++
+		c.mu.Unlock()
+		return comp, nil
+	}
 	// Pooled encode: the channel copies the payload before SendAsync
 	// returns, so the buffer goes straight back.
 	bp := wire.GetEncodeBuf()
@@ -131,6 +170,85 @@ func (c *Client) PublishAsync(e *event.Event) (*reliable.Completion, error) {
 	return comp, nil
 }
 
+// pubBatcher accumulates encoded events between flushes. The payload
+// under construction lives in a pooled encode buffer; every batched
+// publish holds a detached completion that resolves when the carrying
+// batch's own completion does.
+type pubBatcher struct {
+	enabled   bool
+	maxEvents int
+	maxBytes  int
+	delay     time.Duration
+
+	mu    sync.Mutex
+	bp    *[]byte
+	comps []*reliable.Completion
+	timer *time.Timer
+}
+
+// publishBatched frames one event into the pending batch, flushing on
+// size; the first event of a fresh batch arms the flush-on-deadline
+// timer.
+func (c *Client) publishBatched(e *event.Event) *reliable.Completion {
+	b := &c.batch
+	b.mu.Lock()
+	if b.bp == nil {
+		b.bp = wire.GetEncodeBuf()
+		*b.bp = wire.AppendBatchHeader((*b.bp)[:0])
+		if b.timer == nil {
+			b.timer = time.AfterFunc(b.delay, c.Flush)
+		} else {
+			b.timer.Reset(b.delay)
+		}
+	}
+	*b.bp = wire.AppendBatchEvent(*b.bp, e)
+	comp := reliable.NewCompletion()
+	b.comps = append(b.comps, comp)
+	if len(b.comps) >= b.maxEvents || len(*b.bp) >= b.maxBytes {
+		c.flushLocked()
+	}
+	b.mu.Unlock()
+	return comp
+}
+
+// Flush sends any pending publish batch immediately. It is a no-op
+// when batching is disabled or nothing is pending; raw-data sends and
+// subscription changes call it so they cannot overtake events already
+// accepted for publish.
+func (c *Client) Flush() {
+	if !c.batch.enabled {
+		return
+	}
+	c.batch.mu.Lock()
+	c.flushLocked()
+	c.batch.mu.Unlock()
+}
+
+// flushLocked hands the pending batch to the reliable channel (which
+// copies the payload before returning) and spawns the resolver that
+// fans the batch's outcome out to the per-event completions. Caller
+// holds batch.mu.
+func (c *Client) flushLocked() {
+	b := &c.batch
+	if b.bp == nil {
+		return
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	bp, comps := b.bp, b.comps
+	b.bp, b.comps = nil, nil
+	bc := c.ch.SendBatchAsync(c.bus, *bp)
+	wire.PutEncodeBuf(bp)
+	go func() {
+		err := bc.Wait()
+		bc.Recycle()
+		for _, comp := range comps {
+			comp.Resolve(err)
+		}
+	}()
+}
+
 // PublishRaw sends raw device bytes for the member's proxy to translate
 // (the "simple sensor" path of §III-B).
 func (c *Client) PublishRaw(data []byte) error {
@@ -140,6 +258,7 @@ func (c *Client) PublishRaw(data []byte) error {
 		c.mu.Unlock()
 		return ErrQuenched
 	}
+	c.Flush() // raw data must not overtake batched events
 	if err := c.ch.Send(c.bus, wire.PktData, data); err != nil {
 		return err
 	}
@@ -161,6 +280,7 @@ func (c *Client) PublishRawUnreliable(data []byte) error {
 		c.mu.Unlock()
 		return ErrQuenched
 	}
+	c.Flush() // keep ordering relative to batched events
 	if err := c.ch.SendUnreliable(c.bus, wire.PktData, data); err != nil {
 		return err
 	}
@@ -175,11 +295,13 @@ func (c *Client) Subscribe(f *event.Filter) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
+	c.Flush()
 	return c.ch.Send(c.bus, wire.PktSubscribe, wire.EncodeFilter(f))
 }
 
 // Unsubscribe removes a previously installed filter.
 func (c *Client) Unsubscribe(f *event.Filter) error {
+	c.Flush()
 	return c.ch.Send(c.bus, wire.PktUnsubscribe, wire.EncodeFilter(f))
 }
 
@@ -220,6 +342,7 @@ func (c *Client) NextEvent(d time.Duration) (*event.Event, error) {
 // Close shuts the client and its channel down.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
+		c.Flush()
 		close(c.done)
 		c.closeErr = c.ch.Close()
 		c.wg.Wait()
@@ -255,6 +378,9 @@ func (c *Client) recvLoop() {
 func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
 	switch pkt.Type {
 	case wire.PktEvent:
+		if pkt.Flags&wire.FlagBatch != 0 {
+			return c.handleEventBatch(pkt)
+		}
 		// Borrowing decode into a pooled event (see Events for the
 		// consumer contract): the event keeps the packet alive, so
 		// nothing is copied here.
@@ -294,6 +420,41 @@ func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
 		c.quenched.Store(false)
 	default:
 		// Unknown traffic on the client endpoint: ignore.
+	}
+	return false
+}
+
+// handleEventBatch unpacks a batch delivery from the member's proxy:
+// every frame decodes — borrowing — into its own pooled event holding
+// an independent reference on the shared packet, and is pushed to the
+// inbox under the same consumer contract as a single delivery. It
+// reports true when the client is shutting down.
+func (c *Client) handleEventBatch(pkt *wire.Packet) (stop bool) {
+	r, err := wire.NewBatchReader(pkt.Payload)
+	if err != nil {
+		return false
+	}
+	for r.More() {
+		frame, err := r.Next()
+		if err != nil {
+			return false
+		}
+		e := event.Acquire()
+		if err := wire.DecodeBatchFrameInto(e, frame, pkt); err != nil {
+			e.Release()
+			return false
+		}
+		c.mu.Lock()
+		c.stats.EventsReceived++
+		c.mu.Unlock()
+		select {
+		case c.inbox <- e:
+		case <-c.done:
+			e.Release()
+			return true
+		default: // inbox overflow: drop the new event, as single path does
+			e.Release()
+		}
 	}
 	return false
 }

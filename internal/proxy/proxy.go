@@ -51,6 +51,18 @@ type AsyncSender interface {
 	SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte) *reliable.Completion
 }
 
+// BatchAsyncSender is implemented by senders that additionally accept
+// pre-framed event batches (wire.FlagBatch payloads). A proxy with
+// batching enabled (Config.BatchEvents > 1) coalesces consecutive
+// event deliveries into one batch payload and sends it through
+// SendBatchAsync — one reliable packet, one acknowledgement, one
+// network crossing for the whole run of events. reliable.Channel is
+// the canonical implementation.
+type BatchAsyncSender interface {
+	AsyncSender
+	SendBatchAsync(dst ident.ID, payload []byte) *reliable.Completion
+}
+
 // Publisher lets a proxy inject translated device data into the bus.
 type Publisher func(e *event.Event) error
 
@@ -135,6 +147,20 @@ type Config struct {
 	// when its sender implements AsyncSender (default 8). Pipeline=1
 	// forces the sequential one-at-a-time loop.
 	Pipeline int
+	// BatchEvents enables outbound event coalescing when > 1 and the
+	// sender implements BatchAsyncSender: up to this many consecutive
+	// event deliveries are framed into one batch packet (flush on
+	// size). 0 or 1 disables batching.
+	BatchEvents int
+	// BatchBytes caps a batch payload's size in bytes; a frame that
+	// would push the batch past it flushes first. Defaults to 8 KiB
+	// when batching is enabled.
+	BatchBytes int
+	// FlushDelay bounds how long a partially filled batch waits for
+	// more queued events once the queue runs dry before being flushed
+	// anyway (flush on deadline). Defaults to 1ms when batching is
+	// enabled.
+	FlushDelay time.Duration
 }
 
 // DefaultConfig returns the default proxy tuning.
@@ -146,7 +172,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts proxy activity.
+// Stats counts proxy activity. Delivered counts acknowledged events
+// whether they travelled alone or inside a batch; Batches counts batch
+// transmissions and BatchedEvents the events coalesced into them.
 type Stats struct {
 	Enqueued         uint64
 	Delivered        uint64
@@ -155,6 +183,8 @@ type Stats struct {
 	DiscardedOnPurge uint64
 	TranslatedIn     uint64
 	TranslatedOut    uint64
+	Batches          uint64
+	BatchedEvents    uint64
 }
 
 // Proxy is the generic proxy: outbound FIFO queue, delivery worker,
@@ -173,6 +203,14 @@ type Proxy struct {
 	stopped bool
 	inSeq   uint64 // per-member seq for translated device data
 
+	// Batch-gathering state, owned exclusively by the delivery worker
+	// goroutine: a one-slot holdover for the item that forced a flush
+	// (device-native data or a frame that would overflow BatchBytes)
+	// and the reusable frame-gathering scratch.
+	held         outItem
+	hasHeld      bool
+	batchScratch []outItem
+
 	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
@@ -189,6 +227,14 @@ func New(member ident.ID, dev Device, sender Sender, pub Publisher, cfg Config) 
 	}
 	if cfg.Pipeline <= 0 {
 		cfg.Pipeline = DefaultConfig().Pipeline
+	}
+	if cfg.BatchEvents > 1 {
+		if cfg.BatchBytes <= 0 {
+			cfg.BatchBytes = 8 << 10
+		}
+		if cfg.FlushDelay <= 0 {
+			cfg.FlushDelay = time.Millisecond
+		}
 	}
 	p := &Proxy{
 		member: member,
@@ -393,6 +439,8 @@ type outItem struct {
 	payload []byte
 	bufp    *[]byte // pooled event-encode buffer; nil for device-native data
 	comp    *reliable.Completion
+	batched bool // payload is a framed batch; send via SendBatchAsync
+	events  int  // events inside a batch payload (1 otherwise)
 }
 
 func (p *Proxy) releaseItem(it outItem) {
@@ -419,12 +467,109 @@ func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
 		p.mu.Lock()
 		p.stats.TranslatedOut++
 		p.mu.Unlock()
-		return outItem{ptype: wire.PktData, payload: raw}, true
+		return outItem{ptype: wire.PktData, payload: raw, events: 1}, true
 	default:
 		bp := wire.GetEncodeBuf()
 		payload := wire.AppendEvent((*bp)[:0], src)
 		*bp = payload
-		return outItem{ptype: wire.PktEvent, payload: payload, bufp: bp}, true
+		return outItem{ptype: wire.PktEvent, payload: payload, bufp: bp, events: 1}, true
+	}
+}
+
+// gatherBatch builds the next delivery for the batching pipeline: a
+// run of consecutive event deliveries coalesced into one batch
+// payload, or a single item when coalescing does not apply. It flushes
+// on size (Config.BatchEvents frames or Config.BatchBytes bytes), on
+// FIFO breaks (device-native data must not overtake the events queued
+// before it, so it flushes the run and is held over for the next
+// call), and on deadline (a partial batch waits at most
+// Config.FlushDelay for the queue to refill before going out as-is).
+// ok=false means the queue is empty and nothing is pending; the caller
+// waits on wake.
+func (p *Proxy) gatherBatch() (outItem, bool) {
+	items := p.batchScratch[:0]
+	size := wire.BatchHeaderLen
+	if p.hasHeld {
+		p.hasHeld = false
+		if p.held.ptype == wire.PktData {
+			return p.held, true
+		}
+		items = append(items, p.held)
+		size += wire.BatchFrameSize(len(p.held.payload))
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+gather:
+	for len(items) < p.cfg.BatchEvents {
+		e, popped := p.next()
+		if !popped {
+			if len(items) == 0 {
+				return outItem{}, false
+			}
+			// Partial batch, empty queue: flush on deadline.
+			if timer == nil {
+				timer = time.NewTimer(p.cfg.FlushDelay)
+			}
+			select {
+			case <-p.wake:
+				continue
+			case <-timer.C:
+				break gather
+			case <-p.stop:
+				break gather // outer loop observes stop and releases
+			}
+		}
+		it, ok := p.translateOut(e)
+		if !ok {
+			continue
+		}
+		if it.ptype == wire.PktData {
+			if len(items) == 0 {
+				return it, true
+			}
+			p.held, p.hasHeld = it, true
+			break
+		}
+		if len(items) > 0 && size+wire.BatchFrameSize(len(it.payload)) > p.cfg.BatchBytes {
+			p.held, p.hasHeld = it, true
+			break
+		}
+		items = append(items, it)
+		size += wire.BatchFrameSize(len(it.payload))
+	}
+	p.batchScratch = items[:0] // keep capacity for the next gather
+	return p.flushBatch(items), true
+}
+
+// flushBatch turns a gathered run into one delivery. A run of one
+// stays a plain single-event send — byte-identical to the unbatched
+// path, no framing overhead; longer runs are framed into a fresh batch
+// payload and the per-event encode buffers are returned to the pool.
+func (p *Proxy) flushBatch(items []outItem) outItem {
+	if len(items) == 1 {
+		return items[0]
+	}
+	bp := wire.GetEncodeBuf()
+	buf := wire.AppendBatchHeader((*bp)[:0])
+	for _, it := range items {
+		buf = wire.AppendBatchFrame(buf, it.payload)
+		p.releaseItem(it)
+	}
+	*bp = buf
+	p.mu.Lock()
+	p.stats.Batches++
+	p.stats.BatchedEvents += uint64(len(items))
+	p.mu.Unlock()
+	return outItem{
+		ptype:   wire.PktEvent,
+		payload: buf,
+		bufp:    bp,
+		batched: true,
+		events:  len(items),
 	}
 }
 
@@ -437,6 +582,10 @@ func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
 // byte-identical, see outItem.
 func (p *Proxy) deliverLoopAsync(as AsyncSender) {
 	defer close(p.done)
+	bs, _ := as.(BatchAsyncSender)
+	if p.cfg.BatchEvents <= 1 {
+		bs = nil
+	}
 	var inflight []outItem // sent, awaiting acknowledgement (FIFO)
 	var retry []outItem    // failed, to re-send before new queue work
 	releaseAll := func() {
@@ -446,27 +595,39 @@ func (p *Proxy) deliverLoopAsync(as AsyncSender) {
 		for _, it := range retry {
 			p.releaseItem(it)
 		}
+		if p.hasHeld {
+			p.releaseItem(p.held)
+			p.hasHeld = false
+		}
 	}
 	for {
 		for len(inflight) < p.cfg.Pipeline {
 			var it outItem
+			var ok bool
 			if len(retry) > 0 {
 				it = retry[0]
 				retry = retry[1:]
 				p.mu.Lock()
 				p.stats.Redeliveries++
 				p.mu.Unlock()
-			} else {
-				e, ok := p.next()
-				if !ok {
+			} else if bs != nil {
+				if it, ok = p.gatherBatch(); !ok {
 					break
 				}
-				it, ok = p.translateOut(e)
-				if !ok {
+			} else {
+				var e *event.Event
+				if e, ok = p.next(); !ok {
+					break
+				}
+				if it, ok = p.translateOut(e); !ok {
 					continue
 				}
 			}
-			it.comp = as.SendAsync(p.member, it.ptype, it.payload)
+			if it.batched {
+				it.comp = bs.SendBatchAsync(p.member, it.payload)
+			} else {
+				it.comp = as.SendAsync(p.member, it.ptype, it.payload)
+			}
 			inflight = append(inflight, it)
 		}
 		if len(inflight) == 0 {
@@ -491,7 +652,7 @@ func (p *Proxy) deliverLoopAsync(as AsyncSender) {
 		switch {
 		case err == nil:
 			p.mu.Lock()
-			p.stats.Delivered++
+			p.stats.Delivered += uint64(head.events)
 			p.mu.Unlock()
 			p.releaseItem(head)
 			head.comp.Recycle() // observed: hand the handle back
@@ -517,7 +678,7 @@ func (p *Proxy) deliverLoopAsync(as AsyncSender) {
 				it.comp = nil
 				if itErr == nil {
 					p.mu.Lock()
-					p.stats.Delivered++
+					p.stats.Delivered += uint64(it.events)
 					p.mu.Unlock()
 					p.releaseItem(it)
 					continue

@@ -71,6 +71,12 @@ type Stats struct {
 	StaleEpoch      uint64
 	UnreliableIn    uint64
 	UnreliableOut   uint64
+	// BatchesSent counts reliable batch packets enqueued
+	// (SendBatchAsync); PiggybackAcks counts cumulative acks applied
+	// from inbound batch prologues rather than standalone PktAck
+	// packets.
+	BatchesSent   uint64
+	PiggybackAcks uint64
 	// PacketsAcquired/PacketsRecycled expose the inbound packet pool:
 	// every received packet is decoded into a pooled wire.Packet that
 	// the consumer releases after delivery. On a quiesced channel the
@@ -87,6 +93,7 @@ type counters struct {
 	received, dupsDropped, buffered           atomic.Uint64
 	staleAcks, staleEpoch                     atomic.Uint64
 	unreliableIn, unreliableOut               atomic.Uint64
+	batchesSent, piggybackAcks                atomic.Uint64
 }
 
 func (c *counters) snapshot(pool *wire.PacketPool) Stats {
@@ -108,6 +115,8 @@ func (c *counters) snapshot(pool *wire.PacketPool) Stats {
 		StaleEpoch:      c.staleEpoch.Load(),
 		UnreliableIn:    c.unreliableIn.Load(),
 		UnreliableOut:   c.unreliableOut.Load(),
+		BatchesSent:     c.batchesSent.Load(),
+		PiggybackAcks:   c.piggybackAcks.Load(),
 	}
 }
 
@@ -300,7 +309,7 @@ type destState struct {
 	mu       sync.Mutex
 	epoch    byte
 	nextSeq  uint64
-	queue    []*sendOp // unacked ops in seq order; queue[:inflight] transmitted
+	queue    opRing // unacked ops in seq order; the first inflight transmitted
 	inflight int
 	stash    []*sendOp // ops failed by give-up, resumable by identical resend
 	free     *sendOp   // recycled ops (guarded by mu like the queue)
@@ -356,6 +365,13 @@ type Channel struct {
 	tr  transport.Transport
 	cfg Config
 	ctr counters
+
+	// bs/mtu are the transport's optional batched-transmit capability:
+	// the sender flushes window fills and retransmit rounds through
+	// SendBatch (one sendmmsg per burst on linux UDP) instead of one
+	// Send per packet. mtu caches BatchSender.MaxDatagram.
+	bs  transport.BatchSender
+	mtu int
 
 	// pktPool recycles inbound packets: the receive loop decodes every
 	// datagram into a pooled packet (no per-packet struct or payload
@@ -415,6 +431,9 @@ func New(tr transport.Transport, cfg Config) *Channel {
 		inbound: make(chan *wire.Packet, cfg.QueueDepth),
 		done:    make(chan struct{}),
 	}
+	if bs, ok := tr.(transport.BatchSender); ok {
+		c.bs, c.mtu = bs, bs.MaxDatagram()
+	}
 	c.wg.Add(1)
 	go c.recvLoop()
 	return c
@@ -437,6 +456,15 @@ func (c *Channel) Send(dst ident.ID, ptype wire.PacketType, payload []byte) erro
 	return err
 }
 
+// NewCompletion returns an unresolved pooled completion for callers
+// that layer their own asynchronous contracts over the channel (the
+// client's publish batcher resolves one per event when the carrying
+// batch settles). Resolve it with Resolve; recycle as usual.
+func NewCompletion() *Completion { return newCompletion() }
+
+// Resolve settles a completion obtained from NewCompletion.
+func (c *Completion) Resolve(err error) { c.settle(err) }
+
 // SendAsync enqueues a reliable packet for dst and returns immediately
 // with a Completion that resolves when the packet is acknowledged or
 // fails. The payload is copied before SendAsync returns, so the caller
@@ -444,10 +472,28 @@ func (c *Channel) Send(dst ident.ID, ptype wire.PacketType, payload []byte) erro
 // delivered in enqueue order; up to Config.Window of them are kept in
 // flight concurrently.
 func (c *Channel) SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte) *Completion {
-	comp, err := c.sendReliable(dst, ptype, payload, true)
+	comp, err := c.sendReliable(dst, ptype, 0, payload, true)
 	if err != nil {
 		return failedCompletion(err)
 	}
+	return comp
+}
+
+// SendBatchAsync enqueues a reliable batch packet (wire.FlagBatch) of
+// already-framed events for dst: the payload must begin with a batch
+// prologue (wire.AppendBatchHeader) followed by event frames
+// (wire.AppendBatchEvent). The channel stamps the freshest piggybacked
+// cumulative ack for dst's inbound stream into the prologue at every
+// transmission, so a bidirectional flow acknowledges without dedicated
+// ack packets. Like SendAsync the payload is copied before return, the
+// batch gets one sequence number (acknowledged and retransmitted as a
+// unit), and the completion resolves when the whole batch is acked.
+func (c *Channel) SendBatchAsync(dst ident.ID, payload []byte) *Completion {
+	comp, err := c.sendReliable(dst, wire.PktEvent, wire.FlagBatch, payload, true)
+	if err != nil {
+		return failedCompletion(err)
+	}
+	c.ctr.batchesSent.Add(1)
 	return comp
 }
 
@@ -461,13 +507,13 @@ func (c *Channel) SendAsync(dst ident.ID, ptype wire.PacketType, payload []byte)
 // senders that want reliability but track nothing per send use it to
 // skip the per-send completion entirely.
 func (c *Channel) SendFireForget(dst ident.ID, ptype wire.PacketType, payload []byte) error {
-	_, err := c.sendReliable(dst, ptype, payload, false)
+	_, err := c.sendReliable(dst, ptype, 0, payload, false)
 	return err
 }
 
 // sendReliable resolves the destination state and enqueues one
 // reliable packet, retrying when the state is torn down concurrently.
-func (c *Channel) sendReliable(dst ident.ID, ptype wire.PacketType, payload []byte, wantComp bool) (*Completion, error) {
+func (c *Channel) sendReliable(dst ident.ID, ptype wire.PacketType, flags byte, payload []byte, wantComp bool) (*Completion, error) {
 	if dst.IsBroadcast() {
 		return nil, errBroadcast
 	}
@@ -485,7 +531,7 @@ func (c *Channel) sendReliable(dst ident.ID, ptype wire.PacketType, payload []by
 			go c.runSender(ds)
 		}
 		c.mu.Unlock()
-		if comp, ok, err := c.enqueue(ds, ptype, payload, wantComp); ok {
+		if comp, ok, err := c.enqueue(ds, ptype, flags, payload, wantComp); ok {
 			return comp, err
 		}
 		// The destination state was torn down (Forget or Close) while
@@ -498,19 +544,19 @@ func (c *Channel) sendReliable(dst ident.ID, ptype wire.PacketType, payload []by
 // ds is no longer the live state for this destination; a non-nil error
 // is an immediate failure (backlog, marshal). With wantComp=false the
 // op is fire-and-forget: no Completion is created.
-func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte, wantComp bool) (*Completion, bool, error) {
+func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, flags byte, payload []byte, wantComp bool) (*Completion, bool, error) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if ds.gone {
 		return nil, false, nil
 	}
-	if len(ds.queue) >= c.cfg.MaxPending {
-		return nil, true, fmt.Errorf("%w: %d pending to %s", ErrBacklog, len(ds.queue), ds.id)
+	if ds.queue.len() >= c.cfg.MaxPending {
+		return nil, true, fmt.Errorf("%w: %d pending to %s", ErrBacklog, ds.queue.len(), ds.id)
 	}
 	var comp, op = (*Completion)(nil), (*sendOp)(nil)
 	if len(ds.stash) > 0 {
 		s := ds.stash[0]
-		if s.ptype == ptype && bytes.Equal(s.payload(), payload) {
+		if s.ptype == ptype && stashMatches(s, flags, payload) {
 			// Identical resend of a failed packet: resume its original
 			// sequence number so a receiver that already delivered it
 			// (acks lost) dedups instead of delivering twice.
@@ -529,10 +575,11 @@ func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte, 
 	if op == nil {
 		ds.nextSeq++
 		op = ds.getOpLocked()
-		op.seq, op.ptype = ds.nextSeq, ptype
+		op.seq, op.ptype, op.flags = ds.nextSeq, ptype, flags
 		bp := getBuf()
 		pkt := wire.Packet{
 			Type:    ptype,
+			Flags:   flags,
 			Epoch:   ds.epoch,
 			Sender:  c.tr.LocalID(),
 			Seq:     op.seq,
@@ -552,10 +599,29 @@ func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, payload []byte, 
 		comp = newCompletion()
 	}
 	op.comp = comp
-	ds.queue = append(ds.queue, op)
+	ds.queue.push(op)
 	c.ctr.sent.Add(1)
 	ds.kick()
 	return comp, true, nil
+}
+
+// stashMatches reports whether a stashed give-up op carries the same
+// logical payload as a fresh send, the trigger for resuming its
+// original sequence number. For batch packets the comparison covers
+// the frames region only: the prologue's piggybacked ack is stamped at
+// transmit time, so it legitimately differs between the stashed bytes
+// and a redelivery re-encode.
+func stashMatches(s *sendOp, flags byte, payload []byte) bool {
+	sp := s.payload()
+	if s.flags&wire.FlagBatch != flags&wire.FlagBatch {
+		return false
+	}
+	if flags&wire.FlagBatch != 0 {
+		a, err1 := wire.BatchFrames(sp)
+		b, err2 := wire.BatchFrames(payload)
+		return err1 == nil && err2 == nil && bytes.Equal(a, b)
+	}
+	return bytes.Equal(sp, payload)
 }
 
 // resetStreamLocked abandons the stash, bumps the epoch, and renumbers
@@ -569,7 +635,8 @@ func (c *Channel) resetStreamLocked(ds *destState) {
 	ds.stash = nil
 	ds.epoch++
 	ds.nextSeq = 0
-	for _, op := range ds.queue {
+	for i := 0; i < ds.queue.len(); i++ {
+		op := ds.queue.at(i)
 		ds.nextSeq++
 		op.seq = ds.nextSeq
 		_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
@@ -621,6 +688,23 @@ func (c *Channel) runSender(ds *destState) {
 		<-timer.C
 	}
 	timerArmed := false
+	// batch gathers marshalled packets for one flush through the
+	// transport's batched send (window fills and retransmit rounds
+	// become one sendmmsg). It is reused across iterations and flushed
+	// under ds.mu, while the packet buffers are still owned by queued
+	// ops; the slots are cleared afterwards so recycled buffers are
+	// never pinned here.
+	var batch [][]byte
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		_ = c.bs.SendBatch(ds.id, batch) // pre-sized; residual errors are loss
+		for i := range batch {
+			batch[i] = nil
+		}
+		batch = batch[:0]
+	}
 	for {
 		ds.mu.Lock()
 		if ds.gone {
@@ -633,12 +717,18 @@ func (c *Channel) runSender(ds *destState) {
 				c.giveUpLocked(ds)
 			} else {
 				for i := 0; i < ds.inflight; i++ {
-					op := ds.queue[i]
+					op := ds.queue.at(i)
 					op.flags |= wire.FlagRetransmit
 					_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
-					c.transmit(ds.id, *op.bufp)
+					c.stampBatchAck(ds, op)
+					if c.bs != nil {
+						batch = append(batch, *op.bufp)
+					} else {
+						c.transmit(ds.id, *op.bufp)
+					}
 					c.ctr.retransmits.Add(1)
 				}
+				flush()
 				ds.attempts++
 				ds.deadline = now.Add(c.backoff(ds.attempts))
 			}
@@ -648,14 +738,30 @@ func (c *Channel) runSender(ds *destState) {
 			// likely lost while later ones were buffered. Retransmit
 			// it without waiting for the deadline.
 			ds.fastRetx = false
-			op := ds.queue[0]
+			op := ds.queue.at(0)
 			op.flags |= wire.FlagRetransmit
 			_ = wire.PatchHeader(*op.bufp, op.flags, ds.epoch, op.seq)
+			c.stampBatchAck(ds, op)
 			c.transmit(ds.id, *op.bufp)
 			c.ctr.fastRetransmits.Add(1)
 		}
-		for ds.inflight < c.cfg.Window && ds.inflight < len(ds.queue) {
-			op := ds.queue[ds.inflight]
+		for ds.inflight < c.cfg.Window && ds.inflight < ds.queue.len() {
+			op := ds.queue.at(ds.inflight)
+			c.stampBatchAck(ds, op)
+			if c.bs != nil && (c.mtu == 0 || len(*op.bufp) <= c.mtu) {
+				// Batched fast path: gather now, one SendBatch after
+				// the loop. Oversize packets fall through to the
+				// per-packet path below for its ErrTooLarge handling
+				// (they are never transmitted, so gathering order is
+				// preserved).
+				if ds.inflight == 0 {
+					ds.attempts = 0
+					ds.deadline = time.Now().Add(c.backoff(0))
+				}
+				batch = append(batch, *op.bufp)
+				ds.inflight++
+				continue
+			}
 			if err := c.transmit(ds.id, *op.bufp); err != nil {
 				// Permanently unsendable (over the transport MTU):
 				// fail this op now and close the sequence gap by
@@ -664,8 +770,9 @@ func (c *Channel) runSender(ds *destState) {
 				putBuf(op.bufp)
 				op.bufp = nil
 				c.ctr.failures.Add(1)
-				ds.queue = append(ds.queue[:ds.inflight], ds.queue[ds.inflight+1:]...)
-				for _, later := range ds.queue[ds.inflight:] {
+				ds.queue.removeAt(ds.inflight)
+				for i := ds.inflight; i < ds.queue.len(); i++ {
+					later := ds.queue.at(i)
 					later.seq--
 					_ = wire.PatchHeader(*later.bufp, later.flags, ds.epoch, later.seq)
 				}
@@ -679,6 +786,7 @@ func (c *Channel) runSender(ds *destState) {
 			}
 			ds.inflight++
 		}
+		flush()
 		wait := time.Duration(-1)
 		if ds.inflight > 0 {
 			wait = time.Until(ds.deadline)
@@ -712,15 +820,17 @@ func (c *Channel) runSender(ds *destState) {
 // giveUpLocked fails every queued packet with ErrGaveUp and moves them
 // to the resume stash. Caller holds ds.mu.
 func (c *Channel) giveUpLocked(ds *destState) {
-	for _, op := range ds.queue {
+	failed := make([]*sendOp, 0, ds.queue.len())
+	for ds.queue.len() > 0 {
+		op := ds.queue.popFront()
 		settleOp(op, fmt.Errorf("%w: %s epoch=%d seq=%d to %s",
 			ErrGaveUp, op.ptype, ds.epoch, op.seq, ds.id))
 		c.ctr.failures.Add(1)
+		failed = append(failed, op)
 	}
 	// Failed queue entries carry lower sequence numbers than whatever
 	// remains of an earlier stash, so they go in front.
-	ds.stash = append(ds.queue, ds.stash...)
-	ds.queue = nil
+	ds.stash = append(failed, ds.stash...)
 	ds.inflight = 0
 	ds.attempts = 0
 	ds.dupAcks = 0
@@ -731,12 +841,12 @@ func (c *Channel) giveUpLocked(ds *destState) {
 // failPendingLocked resolves every queued packet with err and drops all
 // sender state. Caller holds ds.mu.
 func (c *Channel) failPendingLocked(ds *destState, err error) {
-	for _, op := range ds.queue {
+	for ds.queue.len() > 0 {
+		op := ds.queue.popFront()
 		settleOp(op, err)
 		putBuf(op.bufp)
 		op.bufp = nil
 	}
-	ds.queue = nil
 	ds.inflight = 0
 	for _, s := range ds.stash {
 		putBuf(s.bufp)
@@ -835,7 +945,7 @@ func (c *Channel) Pending() int {
 	pending := 0
 	for _, ds := range dests {
 		ds.mu.Lock()
-		pending += len(ds.queue)
+		pending += ds.queue.len()
 		ds.mu.Unlock()
 	}
 	return pending
@@ -968,21 +1078,30 @@ func (c *Channel) recvLoop() {
 func (c *Channel) handle(pkt *wire.Packet) {
 	switch {
 	case pkt.Type == wire.PktAck:
-		c.handleAck(pkt)
+		c.applyAck(pkt.Sender, pkt.Epoch, pkt.Seq)
 		pkt.Release()
 	case pkt.Flags&wire.FlagNoAck != 0:
 		c.ctr.unreliableIn.Add(1)
 		c.deliver(pkt)
 	default:
+		if pkt.Flags&wire.FlagBatch != 0 && pkt.Type == wire.PktEvent {
+			// A batch prologue may piggyback the peer's cumulative ack
+			// for our own outbound stream: apply it before the data
+			// path, exactly as if a standalone PktAck had arrived.
+			if ep, cum, ok := wire.BatchAck(pkt.Payload); ok {
+				c.ctr.piggybackAcks.Add(1)
+				c.applyAck(pkt.Sender, ep, cum)
+			}
+		}
 		c.handleData(pkt)
 	}
 }
 
-// handleAck applies a cumulative acknowledgement to the destination's
-// send queue.
-func (c *Channel) handleAck(pkt *wire.Packet) {
+// applyAck applies a cumulative acknowledgement — standalone PktAck or
+// piggybacked batch prologue — to the destination's send queue.
+func (c *Channel) applyAck(sender ident.ID, epoch byte, cum uint64) {
 	c.mu.Lock()
-	ds := c.dests[pkt.Sender]
+	ds := c.dests[sender]
 	c.mu.Unlock()
 	if ds == nil {
 		c.ctr.staleAcks.Add(1)
@@ -990,14 +1109,14 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	if pkt.Epoch != ds.epoch {
-		if epochNewer(pkt.Epoch, ds.epoch) && !ds.gone {
+	if epoch != ds.epoch {
+		if epochNewer(epoch, ds.epoch) && !ds.gone {
 			// The receiver acknowledges an epoch this channel has never
 			// used: its ordering state survives from a previous
 			// incarnation of this endpoint restarted under the same
 			// identity. Adopt the epoch and reset past it so the next
 			// transmission opens a provably fresh stream.
-			ds.epoch = pkt.Epoch
+			ds.epoch = epoch
 			c.resetStreamLocked(ds)
 			ds.kick()
 			return
@@ -1005,7 +1124,6 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 		c.ctr.staleAcks.Add(1)
 		return
 	}
-	cum := pkt.Seq
 	if cum > ds.nextSeq && !ds.gone {
 		// An ack covering sequence numbers this stream never sent can
 		// only come from a receiver replaying cumulative state left by
@@ -1019,9 +1137,8 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 		return
 	}
 	progress := 0
-	for len(ds.queue) > 0 && ds.queue[0].seq <= cum {
-		op := ds.queue[0]
-		ds.queue = ds.queue[1:]
+	for ds.queue.len() > 0 && ds.queue.at(0).seq <= cum {
+		op := ds.queue.popFront()
 		if ds.inflight > 0 {
 			ds.inflight--
 		}
@@ -1043,7 +1160,7 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 			ds.deadline = time.Time{}
 		}
 		ds.kick()
-	case ds.inflight > 0 && cum+1 == ds.queue[0].seq:
+	case ds.inflight > 0 && cum+1 == ds.queue.at(0).seq:
 		// Duplicate cumulative ack: the receiver is waiting for our
 		// base packet.
 		ds.dupAcks++
@@ -1052,7 +1169,7 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 			ds.fastRetx = true
 			ds.kick()
 		}
-	case ds.inflight > 0 && cum+1 < ds.queue[0].seq:
+	case ds.inflight > 0 && cum+1 < ds.queue.at(0).seq:
 		// The receiver is waiting for packets below our window base —
 		// sequence numbers this stream already settled and will never
 		// retransmit, so the gap is unfillable: its cumulative state
@@ -1065,9 +1182,29 @@ func (c *Channel) handleAck(pkt *wire.Packet) {
 			c.resetStreamLocked(ds)
 			ds.kick()
 		}
-	case len(ds.queue) == 0:
+	case ds.queue.len() == 0:
 		c.ctr.staleAcks.Add(1)
 	}
+}
+
+// stampBatchAck patches the freshest cumulative ack for the
+// destination's inbound stream into a queued batch packet just before
+// transmission (no-op for non-batch ops). Caller holds ds.mu; rmu
+// nests inside it here, and no path acquires ds.mu while holding rmu,
+// so the ordering is acyclic.
+func (c *Channel) stampBatchAck(ds *destState, op *sendOp) {
+	if op.flags&wire.FlagBatch == 0 {
+		return
+	}
+	c.rmu.Lock()
+	st := c.rst[ds.id]
+	if st == nil {
+		c.rmu.Unlock()
+		return
+	}
+	epoch, cum := st.epoch, st.cum
+	c.rmu.Unlock()
+	_ = wire.PatchBatchAck(*op.bufp, epoch, cum)
 }
 
 // epochNewer reports whether a is a more recent stream epoch than b,

@@ -1,0 +1,70 @@
+package reliable
+
+// opRing is a growable FIFO ring buffer of queued send ops, replacing
+// the previous `[]*sendOp` whose pop-front re-slicing kept dead head
+// slots alive and whose append churned under batching's bursty
+// enqueue/dequeue pattern. Capacity is always a power of two so index
+// math is a mask; the buffer grows on demand and is retained across
+// the destination's lifetime. All methods are called under ds.mu.
+type opRing struct {
+	buf  []*sendOp
+	head int
+	n    int
+}
+
+// len reports the number of queued ops.
+func (r *opRing) len() int { return r.n }
+
+// at returns the i-th op in FIFO order (0 is the front).
+func (r *opRing) at(i int) *sendOp { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *opRing) set(i int, op *sendOp) { r.buf[(r.head+i)&(len(r.buf)-1)] = op }
+
+// push appends an op at the back.
+func (r *opRing) push(op *sendOp) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = op
+	r.n++
+}
+
+// popFront removes and returns the front op. The vacated slot is
+// cleared so the ring never pins a settled op for the GC.
+func (r *opRing) popFront() *sendOp {
+	op := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return op
+}
+
+// removeAt deletes the i-th op preserving FIFO order of the rest
+// (the mid-queue ErrTooLarge failure path).
+func (r *opRing) removeAt(i int) {
+	for ; i < r.n-1; i++ {
+		r.set(i, r.at(i+1))
+	}
+	r.set(r.n-1, nil)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+}
+
+// grow doubles capacity (16 minimum), unwrapping the ring to the
+// front of the new buffer.
+func (r *opRing) grow() {
+	nc := 16
+	if len(r.buf) > 0 {
+		nc = len(r.buf) * 2
+	}
+	nb := make([]*sendOp, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}

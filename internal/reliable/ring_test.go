@@ -1,0 +1,104 @@
+package reliable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOpRingWraparound drives the ring through growth and many
+// push/pop cycles so the head wraps the underlying buffer repeatedly,
+// checking FIFO order against a reference slice the whole way.
+func TestOpRingWraparound(t *testing.T) {
+	var r opRing
+	var want []uint64
+	next := uint64(0)
+	rng := rand.New(rand.NewSource(1))
+
+	check := func() {
+		t.Helper()
+		if r.len() != len(want) {
+			t.Fatalf("len %d, want %d", r.len(), len(want))
+		}
+		for i, seq := range want {
+			if got := r.at(i).seq; got != seq {
+				t.Fatalf("at(%d) = seq %d, want %d", i, got, seq)
+			}
+		}
+	}
+
+	// Phased push/pop with uneven sizes: the head position drifts and
+	// wraps many times across growth boundaries (16 → 32 → 64).
+	for round := 0; round < 200; round++ {
+		pushes := rng.Intn(8)
+		for i := 0; i < pushes; i++ {
+			next++
+			r.push(&sendOp{seq: next})
+			want = append(want, next)
+		}
+		pops := rng.Intn(8)
+		for i := 0; i < pops && len(want) > 0; i++ {
+			op := r.popFront()
+			if op.seq != want[0] {
+				t.Fatalf("popFront seq %d, want %d", op.seq, want[0])
+			}
+			want = want[1:]
+		}
+		check()
+	}
+
+	// Mid-queue removal (the ErrTooLarge path) across the wrap point.
+	for len(want) < 20 {
+		next++
+		r.push(&sendOp{seq: next})
+		want = append(want, next)
+	}
+	for i := 0; i < 10; i++ {
+		idx := rng.Intn(len(want))
+		r.removeAt(idx)
+		want = append(want[:idx], want[idx+1:]...)
+		check()
+	}
+
+	// Drain to empty: the head resets so a long-idle ring reuses its
+	// buffer from the front.
+	for len(want) > 0 {
+		r.popFront()
+		want = want[1:]
+	}
+	check()
+	if r.head != 0 {
+		t.Fatalf("head %d after drain, want 0", r.head)
+	}
+	// Vacated slots must not pin ops.
+	for i, op := range r.buf {
+		if op != nil {
+			t.Fatalf("slot %d still holds an op after drain", i)
+		}
+	}
+}
+
+// TestOpRingGrowUnwraps pins the growth path when the live region
+// wraps: a ring with head near the end must copy out in FIFO order.
+func TestOpRingGrowUnwraps(t *testing.T) {
+	var r opRing
+	// Fill the initial 16 slots, pop 12 so head=12, then push 12 more:
+	// the live region wraps [12..16)+[0..12). One more push grows.
+	for i := uint64(1); i <= 16; i++ {
+		r.push(&sendOp{seq: i})
+	}
+	for i := 0; i < 12; i++ {
+		r.popFront()
+	}
+	for i := uint64(17); i <= 28; i++ {
+		r.push(&sendOp{seq: i})
+	}
+	r.push(&sendOp{seq: 29}) // grow 16 → 32 with wrapped contents
+	if r.len() != 17 {
+		t.Fatalf("len %d, want 17", r.len())
+	}
+	for i := 0; i < 17; i++ {
+		if got, wantSeq := r.at(i).seq, uint64(13+i); got != wantSeq {
+			t.Fatalf("at(%d) = seq %d, want %d", i, got, wantSeq)
+		}
+	}
+}

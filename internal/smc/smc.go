@@ -47,7 +47,23 @@ type Config struct {
 	PolicyOptions []policy.Option
 	// Epoch distinguishes cell restarts in beacons.
 	Epoch uint32
+	// Batch enables wire-level event batching on the cell's member
+	// proxies (bus.WithBatching).
+	Batch BatchConfig
 }
+
+// BatchConfig tunes wire-level event batching: up to Events frames or
+// Bytes of payload per batch packet, with partial batches flushed
+// after FlushDelay. Events <= 1 leaves batching off; zero Bytes and
+// FlushDelay take the layer defaults (8 KiB, 1ms).
+type BatchConfig struct {
+	Events     int
+	Bytes      int
+	FlushDelay time.Duration
+}
+
+// enabled reports whether the config turns batching on.
+func (bc BatchConfig) enabled() bool { return bc.Events > 1 }
 
 // Cell is a running Self-Managed Cell.
 type Cell struct {
@@ -80,8 +96,13 @@ func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
 	reg := bootstrap.NewRegistry()
 	RegisterStandardDevices(reg)
 
+	busOpts := cfg.BusOptions
+	if cfg.Batch.enabled() {
+		busOpts = append(busOpts[:len(busOpts):len(busOpts)],
+			bus.WithBatching(cfg.Batch.Events, cfg.Batch.Bytes, cfg.Batch.FlushDelay))
+	}
 	busCh := reliable.New(busTr, cfg.Reliable)
-	b := bus.New(busCh, m, reg, cfg.BusOptions...)
+	b := bus.New(busCh, m, reg, busOpts...)
 
 	eng, err := policy.NewEngine(b, cfg.PolicyOptions...)
 	if err != nil {
@@ -242,6 +263,19 @@ type DeviceConfig struct {
 	JoinTimeout time.Duration
 	// Reliable tunes the acknowledged hop.
 	Reliable reliable.Config
+	// Batch enables publish-side event batching on the device's
+	// client (client.WithPublishBatching).
+	Batch BatchConfig
+}
+
+// clientOpts converts the device batch config into client options.
+func (cfg DeviceConfig) clientOpts() []client.Option {
+	if !cfg.Batch.enabled() {
+		return nil
+	}
+	return []client.Option{
+		client.WithPublishBatching(cfg.Batch.Events, cfg.Batch.Bytes, cfg.Batch.FlushDelay),
+	}
 }
 
 // Device is a joined member: a client connection plus the lease
@@ -273,7 +307,7 @@ func JoinCell(tr transport.Transport, cfg DeviceConfig) (*Device, error) {
 	}
 	hb := discovery.StartHeartbeats(ch, res.Discovery, res.Lease/3)
 	return &Device{
-		Client: client.New(ch, res.Bus),
+		Client: client.New(ch, res.Bus, cfg.clientOpts()...),
 		Join:   res,
 		ch:     ch,
 		hb:     hb,
@@ -344,7 +378,7 @@ func JoinCellWithRetry(ctx context.Context, tr transport.Transport, cfg DeviceCo
 		if err == nil {
 			hb := discovery.StartHeartbeats(ch, res.Discovery, res.Lease/3)
 			return &Device{
-				Client: client.New(ch, res.Bus),
+				Client: client.New(ch, res.Bus, cfg.clientOpts()...),
 				Join:   res,
 				ch:     ch,
 				hb:     hb,

@@ -1,0 +1,26 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+import "github.com/amuse/smc/internal/ident"
+
+// Portable fallback: platforms without the recvmmsg/sendmmsg fast
+// path run the one-datagram-per-syscall loop and SendBatch degrades to
+// sequential Send calls.
+
+const batchSyscallsAvailable = false
+
+// mmsgBatch mirrors the linux fast path's vector size so portable
+// builds share test coverage of multi-chunk batches.
+const mmsgBatch = 32
+
+func (t *UDPTransport) readLoopBatched() bool { return false }
+
+func (t *UDPTransport) sendBatched(dst ident.ID, bufs [][]byte) error {
+	for _, b := range bufs {
+		if err := t.Send(dst, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// Syscall numbers for the batched UDP fast path. The stdlib syscall
+// table on linux/amd64 predates sendmmsg (it stops at prlimit64), so
+// both numbers are pinned here; they are ABI-frozen.
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

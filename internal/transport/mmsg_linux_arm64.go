@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers for the batched UDP fast path on the generic
+// (asm-generic) arm64 table.
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

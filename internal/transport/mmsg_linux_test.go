@@ -1,0 +1,42 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"syscall"
+	"testing"
+
+	"github.com/amuse/smc/internal/ident"
+)
+
+// TestIDSockaddrRoundTrip checks the unsafe sockaddr conversions used
+// by the mmsg paths against the net-package based ident helpers.
+func TestIDSockaddrRoundTrip(t *testing.T) {
+	cases := []struct {
+		ip   string
+		port int
+	}{
+		{"127.0.0.1", 9999},
+		{"192.168.10.2", 1},
+		{"1.2.3.4", 65535},
+	}
+	for _, tc := range cases {
+		want, err := ident.FromUDPAddr(&net.UDPAddr{IP: net.ParseIP(tc.ip), Port: tc.port})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sa syscall.RawSockaddrInet4
+		idSockaddr(want, &sa)
+		got, ok := sockaddrID(&sa)
+		if !ok || got != want {
+			t.Errorf("%s:%d round trip %s -> %s (ok=%v)", tc.ip, tc.port, want, got, ok)
+		}
+	}
+	// Non-INET families are rejected rather than misparsed.
+	var sa6 syscall.RawSockaddrInet4
+	sa6.Family = syscall.AF_INET6
+	if _, ok := sockaddrID(&sa6); ok {
+		t.Error("AF_INET6 sockaddr accepted")
+	}
+}

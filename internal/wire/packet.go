@@ -20,6 +20,12 @@
 //	20      4     payload length
 //	24      n     payload
 //	24+n    4     CRC-32 (IEEE) over bytes [0, 24+n)
+//
+// A PktEvent packet whose FlagBatch flag bit is set carries, instead of
+// one bare event encoding, the batch payload documented in batch.go: a
+// 10-byte prologue (optional piggybacked cumulative ack) followed by
+// length-prefixed event frames, each frame byte-identical to the
+// standalone encoding of that event.
 package wire
 
 import (
@@ -124,6 +130,10 @@ const (
 	// acknowledges every packet of the echoed epoch up to and
 	// including Seq, not just the one packet carrying that number.
 	FlagCumAck
+
+	// FlagBatch (1 << 3) marks a PktEvent carrying a batch of event
+	// frames; it is defined in batch.go next to the batch framing
+	// layout it governs.
 )
 
 // Version is the current wire format version.

@@ -18,6 +18,7 @@ var (
 	chaosCells   = flag.Int("chaos.cells", 2, "cells per chaos run")
 	chaosSeeds   = flag.String("chaos.seeds", "1,2", "comma-separated fresh seeds to run")
 	chaosRecord  = flag.Bool("chaos.record", true, "append failing seeds to regression_seeds.json")
+	chaosBatch   = flag.Int("chaos.batch", 0, "run cells with -batch N event coalescing (0: off)")
 )
 
 // runChaos executes one full chaos run and returns the first invariant

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -94,6 +95,9 @@ func (h *harness) startCell(c *cellProc, policyFile string) error {
 		"-addr", "127.0.0.1:0", "-disc-addr", "127.0.0.1:0",
 		"-lease", cellLease.String(), "-grace", cellGrace.String(),
 		"-drain", "5s",
+	}
+	if *chaosBatch > 0 {
+		args = append(args, "-batch", strconv.Itoa(*chaosBatch))
 	}
 	if policyFile != "" {
 		args = append(args, "-policies", policyFile)
