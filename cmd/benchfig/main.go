@@ -19,13 +19,20 @@
 //	go test -run '^$' -bench ... | tee bench.txt
 //	benchfig -gate bench.txt -baseline BENCH_PR4.json -gate-out bench.json
 //
-// A third mode measures shard scaling: `benchfig -cpus` reruns the bus
-// hot-path benchmark under GOMAXPROCS 1, 2 and 4 (via `go test -cpu`)
-// and prints shards=1 vs shards=N throughput per processor count — the
-// sweep the ROADMAP calls for before believing any shard-scalability
-// claim. On a single-hardware-CPU host it says so: oversubscribed
-// GOMAXPROCS on one core measures scheduling overhead, not parallel
-// speedup.
+// A third mode measures CPU scaling: `benchfig -cpus` reruns the bus
+// hot-path benchmark (local dispatch and member fan-out) under each
+// GOMAXPROCS in -cpus-list (via `go test -cpu`) and prints throughput
+// per (delivery, GOMAXPROCS, shards) point plus speedups against the
+// single-processor single-shard baseline — the sweep the ROADMAP calls
+// for before believing any shard-scalability claim. -cpus-out writes
+// the machine-readable "cpus" section, -cpus-merge folds it into a
+// committed baseline, and -cpus-gate fails the run when speedups do
+// not scale monotonically — enforced only on hosts with ≥4 hardware
+// CPUs; on smaller hosts (1-CPU CI) the sweep is informational, since
+// oversubscribed GOMAXPROCS on one core measures scheduling overhead,
+// not parallel speedup:
+//
+//	benchfig -cpus -cpus-list 1,2,4 -cpus-merge BENCH_PR8.json -cpus-gate
 package main
 
 import (
@@ -46,16 +53,20 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 4a, 4b, link, fanout, quench, redelivery, all")
-		full     = flag.Bool("full", false, "figure-quality sweep (slower); default is a quick sweep")
-		gate     = flag.String("gate", "", "gate mode: path to `go test -bench` output (\"-\" for stdin)")
-		baseline = flag.String("baseline", "BENCH_PR4.json", "gate mode: committed baseline JSON with a \"gate\" section")
-		gateOut  = flag.String("gate-out", "", "gate mode: write the machine-readable report JSON here")
-		cpus     = flag.Bool("cpus", false, "shard-scaling mode: run BenchmarkBusHotPath under -cpu 1,2,4 and compare shards=1 vs shards=GOMAXPROCS")
+		fig       = flag.String("fig", "all", "figure to regenerate: 4a, 4b, link, fanout, quench, redelivery, all")
+		full      = flag.Bool("full", false, "figure-quality sweep (slower); default is a quick sweep")
+		gate      = flag.String("gate", "", "gate mode: path to `go test -bench` output (\"-\" for stdin)")
+		baseline  = flag.String("baseline", "BENCH_PR4.json", "gate mode: committed baseline JSON with a \"gate\" section")
+		gateOut   = flag.String("gate-out", "", "gate mode: write the machine-readable report JSON here")
+		cpus      = flag.Bool("cpus", false, "CPU-scaling mode: run BenchmarkBusHotPath (local and member delivery) under each -cpus-list GOMAXPROCS value")
+		cpusList  = flag.String("cpus-list", "1,2,4", "cpus mode: comma-separated GOMAXPROCS values to sweep")
+		cpusOut   = flag.String("cpus-out", "", "cpus mode: write the machine-readable \"cpus\" section JSON here")
+		cpusMerge = flag.String("cpus-merge", "", "cpus mode: merge the \"cpus\" section into this baseline JSON in place")
+		cpusGate  = flag.Bool("cpus-gate", false, "cpus mode: fail unless speedups scale monotonically (only enforced on hosts with ≥4 hardware CPUs)")
 	)
 	flag.Parse()
 	if *cpus {
-		if err := runCPUSweep(); err != nil {
+		if err := runCPUSweep(*cpusList, *cpusOut, *cpusMerge, *cpusGate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchfig:", err)
 			os.Exit(1)
 		}
@@ -74,23 +85,41 @@ func main() {
 	}
 }
 
-// runCPUSweep executes the bus hot-path benchmark at 8-subscriber
-// local fan-out across GOMAXPROCS=1,2,4 and prints an events/sec table
-// per (GOMAXPROCS, shards) point plus the shards=N / shards=1 speedup.
-func runCPUSweep() error {
-	fmt.Fprintf(os.Stderr, "running BenchmarkBusHotPath under -cpu 1,2,4 (hardware CPUs: %d)...\n", runtime.NumCPU())
+// cpuSweepBench is the benchmark pattern the -cpus mode measures:
+// both delivery modes at 8-subscriber fan-out, every shards variant.
+const cpuSweepBench = "BenchmarkBusHotPath/delivery=(local|member)/fanout=8"
+
+// runCPUSweep executes the bus hot-path benchmark (local dispatch and
+// member fan-out) across the requested GOMAXPROCS values, prints an
+// events/sec table per (delivery, GOMAXPROCS, shards) point with
+// speedups relative to the single-processor single-shard baseline,
+// and optionally emits/merges the machine-readable "cpus" section and
+// gates on scaling monotonicity.
+func runCPUSweep(list, outPath, mergePath string, gate bool) error {
+	var procsSeen []int
+	for _, s := range strings.Split(list, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad -cpus-list entry %q", s)
+		}
+		procsSeen = append(procsSeen, p)
+	}
+	if len(procsSeen) == 0 {
+		return fmt.Errorf("-cpus-list is empty")
+	}
+	fmt.Fprintf(os.Stderr, "running %s under -cpu %s (hardware CPUs: %d)...\n",
+		cpuSweepBench, list, runtime.NumCPU())
+
 	// One `go test` invocation per -cpu value: sub-benchmark discovery
 	// runs shardCounts() under that GOMAXPROCS, so the shards=GOMAXPROCS
 	// point exists at every processor count (a single -cpu 1,2,4 run
 	// discovers the tree once, under the first value only). The loop
 	// variable already identifies the processor count, so the standard
 	// suffix-stripping parser does.
-	type point struct{ procs, shards int }
-	values := make(map[point]float64)
-	procsSeen := []int{1, 2, 4}
+	var points []bench.CPUPoint
 	for _, procs := range procsSeen {
 		cmd := exec.Command("go", "test", "./internal/bus", "-run", "^$",
-			"-bench", "BenchmarkBusHotPath/delivery=local/fanout=8", "-benchtime", "1s",
+			"-bench", cpuSweepBench, "-benchtime", "1s",
 			"-cpu", strconv.Itoa(procs))
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()
@@ -102,6 +131,15 @@ func runCPUSweep() error {
 			return fmt.Errorf("parse bench output: %w", err)
 		}
 		for name, m := range meas {
+			delivery := ""
+			switch {
+			case strings.Contains(name, "delivery=local"):
+				delivery = "local"
+			case strings.Contains(name, "delivery=member"):
+				delivery = "member"
+			default:
+				continue
+			}
 			j := strings.LastIndex(name, "shards=")
 			if j < 0 {
 				continue
@@ -110,41 +148,68 @@ func runCPUSweep() error {
 			if err != nil {
 				continue
 			}
-			values[point{procs, shards}] = m.Metrics["events/sec"]
+			points = append(points, bench.CPUPoint{
+				Delivery: delivery, Procs: procs, Shards: shards,
+				EventsPerSec: m.Metrics["events/sec"],
+			})
 		}
 	}
-	if len(values) == 0 {
+	if len(points) == 0 {
 		return fmt.Errorf("no benchmark results")
 	}
+	sweep := bench.BuildCPUSweep(cpuSweepBench, runtime.NumCPU(), points)
 
-	fmt.Printf("# shard scaling sweep: BenchmarkBusHotPath/delivery=local/fanout=8 (events/sec)\n")
+	fmt.Printf("# CPU scaling sweep: %s (events/sec)\n", cpuSweepBench)
 	fmt.Printf("# hardware CPUs: %d\n", runtime.NumCPU())
-	for _, procs := range procsSeen {
-		var shardsSeen []int
-		for pt := range values {
-			if pt.procs == procs {
-				shardsSeen = append(shardsSeen, pt.shards)
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.Delivery != b.Delivery {
+			return a.Delivery < b.Delivery
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		return a.Shards < b.Shards
+	})
+	for _, p := range points {
+		fmt.Printf("delivery=%s GOMAXPROCS=%d shards=%d %.0f\n",
+			p.Delivery, p.Procs, p.Shards, p.EventsPerSec)
+	}
+	for _, delivery := range []string{"local", "member"} {
+		for _, procs := range procsSeen {
+			if sp, ok := sweep.Speedups[delivery][strconv.Itoa(procs)]; ok {
+				fmt.Printf("delivery=%s GOMAXPROCS=%d speedup vs 1-proc/1-shard: %.2fx\n",
+					delivery, procs, sp)
 			}
-		}
-		sort.Ints(shardsSeen)
-		for _, s := range shardsSeen {
-			fmt.Printf("GOMAXPROCS=%d shards=%d %.0f\n", procs, s, values[point{procs, s}])
-		}
-		base, hasBase := values[point{procs, 1}]
-		best, bestShards := 0.0, 0
-		for _, s := range shardsSeen {
-			if s != 1 && values[point{procs, s}] > best {
-				best, bestShards = values[point{procs, s}], s
-			}
-		}
-		if hasBase && base > 0 && bestShards != 0 {
-			fmt.Printf("GOMAXPROCS=%d speedup shards=%d/shards=1: %.2fx\n", procs, bestShards, best/base)
 		}
 	}
 	if runtime.NumCPU() == 1 {
 		fmt.Printf("# NOTE: single hardware CPU — GOMAXPROCS>1 points oversubscribe one core\n")
 		fmt.Printf("# and measure scheduling overhead, not parallel speedup. Re-run on a\n")
 		fmt.Printf("# multi-core host before drawing shard-scalability conclusions.\n")
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if mergePath != "" {
+		if err := bench.MergeCPUSection(mergePath, sweep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "merged cpus section into %s\n", mergePath)
+	}
+	if gate {
+		rep := bench.GateCPUSweep(sweep, runtime.NumCPU())
+		rep.Fprint(os.Stdout)
+		if !rep.Pass {
+			return fmt.Errorf("cpu-scaling gate failed")
+		}
 	}
 	return nil
 }

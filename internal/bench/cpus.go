@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// CPU-scaling sweep support: the machine-readable "cpus" section of a
+// committed bench baseline (BENCH_PR*.json). benchfig -cpus produces
+// it, -cpus-merge folds it into a baseline, and -cpus-gate enforces
+// scaling monotonicity on hosts that actually have cores. Baselines
+// without a cpus section — every baseline before PR 8 — stay fully
+// usable: LoadGateSpec reads only the "gate" key and ignores the rest.
+
+// CPUPoint is one measured (delivery, GOMAXPROCS, shards) throughput
+// point of the bus hot-path benchmark.
+type CPUPoint struct {
+	Delivery     string  `json:"delivery"`
+	Procs        int     `json:"procs"`
+	Shards       int     `json:"shards"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// CPUSweep is the "cpus" section: raw points plus derived speedups.
+type CPUSweep struct {
+	Benchmark    string `json:"benchmark"`
+	HardwareCPUs int    `json:"hardware_cpus"`
+	// Informational is true when the measuring host had fewer than 4
+	// hardware CPUs: oversubscribed GOMAXPROCS on too few cores
+	// measures scheduling overhead, not parallel speedup, so the
+	// numbers are recorded for provenance but must not be gated.
+	Informational bool       `json:"informational"`
+	Points        []CPUPoint `json:"points"`
+	// Speedups maps delivery → GOMAXPROCS (as a decimal string, being
+	// a JSON key) → best-shards throughput at that processor count
+	// relative to the single-processor single-shard baseline.
+	Speedups map[string]map[string]float64 `json:"speedups"`
+}
+
+// BuildCPUSweep derives the speedup table from raw points.
+func BuildCPUSweep(benchmark string, hardwareCPUs int, points []CPUPoint) CPUSweep {
+	s := CPUSweep{
+		Benchmark:     benchmark,
+		HardwareCPUs:  hardwareCPUs,
+		Informational: hardwareCPUs < 4,
+		Points:        points,
+		Speedups:      make(map[string]map[string]float64),
+	}
+	best := make(map[string]map[int]float64) // delivery → procs → best events/sec
+	base := make(map[string]float64)         // delivery → procs=1 shards=1
+	for _, p := range points {
+		if best[p.Delivery] == nil {
+			best[p.Delivery] = make(map[int]float64)
+		}
+		if p.EventsPerSec > best[p.Delivery][p.Procs] {
+			best[p.Delivery][p.Procs] = p.EventsPerSec
+		}
+		if p.Procs == 1 && p.Shards == 1 {
+			base[p.Delivery] = p.EventsPerSec
+		}
+	}
+	for delivery, byProcs := range best {
+		b := base[delivery]
+		if b <= 0 {
+			continue
+		}
+		s.Speedups[delivery] = make(map[string]float64)
+		for procs, v := range byProcs {
+			s.Speedups[delivery][strconv.Itoa(procs)] = v / b
+		}
+	}
+	return s
+}
+
+// GateCPUSweep checks scaling monotonicity: for every delivery mode,
+// walking the measured processor counts that the host's cores can
+// genuinely parallelise (procs ≤ hardware CPUs), the speedup must not
+// regress by more than slack at each step. It returns one Check per
+// step. On hosts with fewer than 4 CPUs it returns a single passing
+// informational check — there is nothing meaningful to enforce.
+func GateCPUSweep(s CPUSweep, hardwareCPUs int) GateReport {
+	const slack = 0.90 // allow 10% noise between adjacent points
+	rep := GateReport{Pass: true}
+	if hardwareCPUs < 4 {
+		rep.Checks = append(rep.Checks, Check{
+			Name: "cpus", Kind: "cpu-scaling", Metric: "speedup", Pass: true,
+			Detail: fmt.Sprintf("informational: %d hardware CPUs, scaling not gated", hardwareCPUs),
+		})
+		return rep
+	}
+	deliveries := make([]string, 0, len(s.Speedups))
+	for d := range s.Speedups {
+		deliveries = append(deliveries, d)
+	}
+	sort.Strings(deliveries)
+	for _, d := range deliveries {
+		var procs []int
+		for k := range s.Speedups[d] {
+			if p, err := strconv.Atoi(k); err == nil && p <= hardwareCPUs {
+				procs = append(procs, p)
+			}
+		}
+		sort.Ints(procs)
+		prev := 0.0
+		for _, p := range procs {
+			sp := s.Speedups[d][strconv.Itoa(p)]
+			limit := prev * slack
+			pass := sp >= limit
+			rep.Checks = append(rep.Checks, Check{
+				Name:     fmt.Sprintf("cpus/%s/procs=%d", d, p),
+				Kind:     "cpu-scaling",
+				Metric:   "speedup",
+				Measured: sp,
+				Limit:    limit,
+				Pass:     pass,
+				Detail:   "speedup vs procs=1 shards=1; must be ≥ 0.9× the previous point",
+			})
+			rep.Pass = rep.Pass && pass
+			if sp > prev {
+				prev = sp
+			}
+		}
+	}
+	return rep
+}
+
+// MergeCPUSection rewrites the baseline JSON at path with its "cpus"
+// key replaced by s, preserving every other key byte-for-byte.
+func MergeCPUSection(path string, s CPUSweep) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	section, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	doc["cpus"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// LoadCPUSweep reads the "cpus" section of a baseline; ok is false
+// when the baseline predates cpus sections.
+func LoadCPUSweep(path string) (CPUSweep, bool, error) {
+	var wrapper struct {
+		CPUs *CPUSweep `json:"cpus"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CPUSweep{}, false, err
+	}
+	if err := json.Unmarshal(data, &wrapper); err != nil {
+		return CPUSweep{}, false, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if wrapper.CPUs == nil {
+		return CPUSweep{}, false, nil
+	}
+	return *wrapper.CPUs, true, nil
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sweepPoints() []CPUPoint {
+	return []CPUPoint{
+		{Delivery: "local", Procs: 1, Shards: 1, EventsPerSec: 1000},
+		{Delivery: "local", Procs: 1, Shards: 4, EventsPerSec: 950},
+		{Delivery: "local", Procs: 2, Shards: 2, EventsPerSec: 1800},
+		{Delivery: "local", Procs: 4, Shards: 4, EventsPerSec: 3200},
+		{Delivery: "member", Procs: 1, Shards: 1, EventsPerSec: 500},
+		{Delivery: "member", Procs: 2, Shards: 2, EventsPerSec: 900},
+		{Delivery: "member", Procs: 4, Shards: 4, EventsPerSec: 1500},
+	}
+}
+
+func TestBuildCPUSweepSpeedups(t *testing.T) {
+	s := BuildCPUSweep("bench", 4, sweepPoints())
+	if s.Informational {
+		t.Fatal("4-CPU sweep marked informational")
+	}
+	if got := s.Speedups["local"]["4"]; got != 3.2 {
+		t.Fatalf("local 4-proc speedup = %v, want 3.2", got)
+	}
+	if got := s.Speedups["member"]["2"]; got != 1.8 {
+		t.Fatalf("member 2-proc speedup = %v, want 1.8", got)
+	}
+	// Best shards at a processor count wins, not the last point seen.
+	if got := s.Speedups["local"]["1"]; got != 1.0 {
+		t.Fatalf("local 1-proc speedup = %v, want 1.0 (shards=1 base beats shards=4)", got)
+	}
+	if one := BuildCPUSweep("bench", 1, sweepPoints()); !one.Informational {
+		t.Fatal("1-CPU sweep not marked informational")
+	}
+}
+
+func TestGateCPUSweepMonotonic(t *testing.T) {
+	s := BuildCPUSweep("bench", 4, sweepPoints())
+	rep := GateCPUSweep(s, 4)
+	if !rep.Pass {
+		t.Fatalf("monotonic sweep failed gate: %+v", rep.Checks)
+	}
+	if len(rep.Checks) != 6 { // 3 procs × 2 deliveries
+		t.Fatalf("got %d checks, want 6", len(rep.Checks))
+	}
+}
+
+func TestGateCPUSweepRegression(t *testing.T) {
+	pts := sweepPoints()
+	// Collapse local's 4-proc point far below the 2-proc speedup.
+	for i := range pts {
+		if pts[i].Delivery == "local" && pts[i].Procs == 4 {
+			pts[i].EventsPerSec = 900 // speedup 0.9 < 1.8 × 0.9
+		}
+	}
+	rep := GateCPUSweep(BuildCPUSweep("bench", 4, pts), 4)
+	if rep.Pass {
+		t.Fatal("regressing sweep passed the gate")
+	}
+}
+
+func TestGateCPUSweepInformationalOnSmallHosts(t *testing.T) {
+	s := BuildCPUSweep("bench", 1, sweepPoints())
+	rep := GateCPUSweep(s, 1)
+	if !rep.Pass || len(rep.Checks) != 1 {
+		t.Fatalf("small-host gate should be a single passing informational check, got %+v", rep)
+	}
+}
+
+// TestGateSpecToleratesCPUSection pins the forward/backward
+// compatibility contract: LoadGateSpec must read baselines with and
+// without a "cpus" section, and merging a cpus section must leave the
+// gate section intact.
+func TestGateSpecToleratesCPUSection(t *testing.T) {
+	dir := t.TempDir()
+	baseline := map[string]interface{}{
+		"pr": 8,
+		"gate": map[string]interface{}{
+			"tolerance": 0.2,
+			"benchmarks": []map[string]interface{}{
+				{"name": "BenchmarkX", "metric": "ns/op", "baseline": 100},
+			},
+		},
+	}
+
+	write := func(name string, doc map[string]interface{}) string {
+		path := filepath.Join(dir, name)
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Old-style baseline: no cpus section.
+	old := write("old.json", baseline)
+	if _, err := LoadGateSpec(old); err != nil {
+		t.Fatalf("LoadGateSpec on pre-cpus baseline: %v", err)
+	}
+	if _, ok, err := LoadCPUSweep(old); err != nil || ok {
+		t.Fatalf("LoadCPUSweep on pre-cpus baseline: ok=%v err=%v, want absent", ok, err)
+	}
+
+	// New-style: merge a cpus section in place, then re-read both.
+	merged := write("new.json", baseline)
+	sweep := BuildCPUSweep("bench", 4, sweepPoints())
+	if err := MergeCPUSection(merged, sweep); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadGateSpec(merged)
+	if err != nil {
+		t.Fatalf("LoadGateSpec after cpus merge: %v", err)
+	}
+	if len(spec.Benchmarks) != 1 || spec.Benchmarks[0].Name != "BenchmarkX" ||
+		spec.Benchmarks[0].Baseline != 100 {
+		t.Fatal("gate section damaged by cpus merge")
+	}
+	got, ok, err := LoadCPUSweep(merged)
+	if err != nil || !ok {
+		t.Fatalf("LoadCPUSweep after merge: ok=%v err=%v", ok, err)
+	}
+	if got.HardwareCPUs != 4 || len(got.Points) != len(sweep.Points) {
+		t.Fatalf("cpus section did not round-trip: %+v", got)
+	}
+	// Merging again replaces, not duplicates.
+	if err := MergeCPUSection(merged, sweep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := LoadCPUSweep(merged); !ok {
+		t.Fatal("cpus section lost on re-merge")
+	}
+}

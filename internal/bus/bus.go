@@ -81,7 +81,13 @@ func (c Cost) enabled() bool {
 	return c.IngestPerEvent > 0 || c.DeliverPerEvent > 0 || c.PerByte > 0
 }
 
-// Stats counts bus activity.
+// Stats counts bus activity. A Stats value is a fold of per-shard
+// counter blocks taken while dispatch keeps running, so it is a
+// point-in-time observation, not a consistent cut: every counter is
+// individually exact and monotonic, but counters read relative to each
+// other may be mid-event (e.g. Published can momentarily exceed
+// Matched+NoMatch while a shard is between the two increments). On a
+// quiesced bus all invariants hold exactly.
 type Stats struct {
 	Published      uint64
 	Matched        uint64
@@ -101,9 +107,12 @@ type Stats struct {
 	Unsubscriptions uint64
 }
 
-// counters is the internal atomic form of Stats, updated lock-free on
-// the hot path.
-type counters struct {
+// busCounters is one atomic counter block. The bus keeps one block per
+// shard worker plus one for the receive/control paths: each worker
+// bumps only its own block, so the dispatch hot path's counter updates
+// never contend on — or cache-line-bounce — state shared with another
+// core. Stats folds the blocks on read.
+type busCounters struct {
 	published       atomic.Uint64
 	matched         atomic.Uint64
 	noMatch         atomic.Uint64
@@ -117,24 +126,33 @@ type counters struct {
 	dropped         atomic.Uint64
 	subscriptions   atomic.Uint64
 	unsubscriptions atomic.Uint64
+	// Pad the block to a multiple of 128 bytes (two cache lines, the
+	// spatial-prefetcher granule) so adjacent shards' blocks never
+	// share a line — false sharing would reintroduce exactly the
+	// cross-core bouncing the per-shard split removes.
+	_ [128 - (13*8)%128]byte
 }
 
-func (c *counters) snapshot() Stats {
-	return Stats{
-		Published:       c.published.Load(),
-		Matched:         c.matched.Load(),
-		NoMatch:         c.noMatch.Load(),
-		DeliveredLocal:  c.deliveredLocal.Load(),
-		EnqueuedRemote:  c.enqueuedRemote.Load(),
-		Quenches:        c.quenches.Load(),
-		Unquenches:      c.unquenches.Load(),
-		AuthDenied:      c.authDenied.Load(),
-		NonMember:       c.nonMember.Load(),
-		BadPackets:      c.badPackets.Load(),
-		Dropped:         c.dropped.Load(),
-		Subscriptions:   c.subscriptions.Load(),
-		Unsubscriptions: c.unsubscriptions.Load(),
+// foldStats sums counter blocks into a Stats snapshot.
+func foldStats(blocks []busCounters) Stats {
+	var s Stats
+	for i := range blocks {
+		c := &blocks[i]
+		s.Published += c.published.Load()
+		s.Matched += c.matched.Load()
+		s.NoMatch += c.noMatch.Load()
+		s.DeliveredLocal += c.deliveredLocal.Load()
+		s.EnqueuedRemote += c.enqueuedRemote.Load()
+		s.Quenches += c.quenches.Load()
+		s.Unquenches += c.unquenches.Load()
+		s.AuthDenied += c.authDenied.Load()
+		s.NonMember += c.nonMember.Load()
+		s.BadPackets += c.badPackets.Load()
+		s.Dropped += c.dropped.Load()
+		s.Subscriptions += c.subscriptions.Load()
+		s.Unsubscriptions += c.unsubscriptions.Load()
 	}
+	return s
 }
 
 // Option configures a Bus.
@@ -224,6 +242,14 @@ type Bus struct {
 	ch       *reliable.Channel
 	match    matcher.Matcher
 	registry *bootstrap.Registry
+	// scratchMatch is match when it supports caller-owned scratch
+	// (every in-tree matcher does); nil otherwise. Resolved once in
+	// New so the hot path pays no per-event type assertion.
+	scratchMatch matcher.ScratchMatcher
+	// evFree recycles the receive loop's decoded events owner-locally:
+	// remote traffic circulates through this bus's own events instead
+	// of crossing the global event pool per packet.
+	evFree *event.FreeList
 
 	auth       Authorizer
 	cost       Cost
@@ -249,7 +275,9 @@ type Bus struct {
 	nextLoc  uint64
 	closed   atomic.Bool // written under mu; read lock-free
 
-	ctr counters
+	// ctrs holds one padded counter block per shard worker plus a
+	// final block for the receive/control paths (index len-1).
+	ctrs []busCounters
 
 	workers []*shardWorker
 	done    chan struct{}
@@ -263,10 +291,14 @@ type memberState struct {
 
 // shardWorker is one pipeline worker: its own bounded queue plus
 // per-shard scratch, reused across events so dispatch does not
-// allocate.
+// allocate. The matcher scratch and the counter block are plain
+// per-worker state — they never cross a sync.Pool or touch another
+// shard's cache lines.
 type shardWorker struct {
 	work    chan workItem
 	targets []ident.ID
+	sc      *matcher.Scratch
+	ctr     *busCounters
 }
 
 type workItem struct {
@@ -302,12 +334,23 @@ func New(ch *reliable.Channel, m matcher.Matcher, reg *bootstrap.Registry, opts 
 	if b.shards < 1 {
 		b.shards = 1
 	}
+	b.scratchMatch, _ = m.(matcher.ScratchMatcher)
+	b.evFree = event.NewFreeList(b.queueDepth / 4)
+	b.ctrs = make([]busCounters, b.shards+1)
 	b.workers = make([]*shardWorker, b.shards)
 	for i := range b.workers {
-		b.workers[i] = &shardWorker{work: make(chan workItem, b.queueDepth)}
+		b.workers[i] = &shardWorker{
+			work: make(chan workItem, b.queueDepth),
+			sc:   matcher.NewScratch(),
+			ctr:  &b.ctrs[i],
+		}
 	}
 	return b
 }
+
+// ctl is the counter block of the receive/control paths (everything
+// that is not a shard worker).
+func (b *Bus) ctl() *busCounters { return &b.ctrs[len(b.ctrs)-1] }
 
 // ID returns the bus's service ID on the network.
 func (b *Bus) ID() ident.ID { return b.ch.LocalID() }
@@ -323,8 +366,10 @@ func (b *Bus) MatcherName() string { return b.match.Name() }
 // Shards reports the number of pipeline worker shards.
 func (b *Bus) Shards() int { return b.shards }
 
-// Stats returns a snapshot of the counters.
-func (b *Bus) Stats() Stats { return b.ctr.snapshot() }
+// Stats folds the per-shard counter blocks into one snapshot. See the
+// Stats type for the point-in-time semantics of a fold taken while
+// dispatch is running.
+func (b *Bus) Stats() Stats { return foldStats(b.ctrs) }
 
 // Start launches the receive loop and the shard workers.
 func (b *Bus) Start() {
@@ -566,14 +611,14 @@ func (b *Bus) handlePacket(pkt *wire.Packet) {
 		// Discovery/control traffic does not belong on the bus
 		// endpoint (the discovery protocol "does not use the event
 		// bus", §II-B).
-		b.ctr.badPackets.Add(1)
+		b.ctl().badPackets.Add(1)
 	}
 }
 
 func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 	ms, ok := b.memberState(pkt.Sender)
 	if !ok {
-		b.ctr.nonMember.Add(1)
+		b.ctl().nonMember.Add(1)
 		return
 	}
 	if pkt.Flags&wire.FlagBatch != 0 {
@@ -587,10 +632,10 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 	// means remote-published events follow the pooled-event contract
 	// local pooled publishes already set: subscribers Clone whatever
 	// they keep past the handler callback.
-	e := event.Acquire()
+	e := b.evFree.Acquire()
 	if err := wire.DecodeEventInto(e, pkt); err != nil {
 		e.Release()
-		b.ctr.badPackets.Add(1)
+		b.ctl().badPackets.Add(1)
 		return
 	}
 	// Anti-spoofing: a member's events carry its own identity, no
@@ -602,16 +647,16 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 	if b.auth != nil {
 		if err := b.auth.AuthorizePublish(pkt.Sender, ms.deviceType, e); err != nil {
 			e.Release()
-			b.ctr.authDenied.Add(1)
+			b.ctl().authDenied.Add(1)
 			return
 		}
 	}
 	if err := b.enqueuePublish(e); err != nil {
 		e.Release()
 		if errors.Is(err, ErrBusy) {
-			b.ctr.dropped.Add(1) // overload, not corruption
+			b.ctl().dropped.Add(1) // overload, not corruption
 		} else {
-			b.ctr.badPackets.Add(1)
+			b.ctl().badPackets.Add(1)
 		}
 	}
 }
@@ -627,19 +672,19 @@ func (b *Bus) handleEventPacket(pkt *wire.Packet) {
 func (b *Bus) handleEventBatch(ms *memberState, pkt *wire.Packet) {
 	r, err := wire.NewBatchReader(pkt.Payload)
 	if err != nil {
-		b.ctr.badPackets.Add(1)
+		b.ctl().badPackets.Add(1)
 		return
 	}
 	for r.More() {
 		frame, err := r.Next()
 		if err != nil {
-			b.ctr.badPackets.Add(1)
+			b.ctl().badPackets.Add(1)
 			return
 		}
-		e := event.Acquire()
+		e := b.evFree.Acquire()
 		if err := wire.DecodeBatchFrameInto(e, frame, pkt); err != nil {
 			e.Release()
-			b.ctr.badPackets.Add(1)
+			b.ctl().badPackets.Add(1)
 			return
 		}
 		// Anti-spoofing, per frame: the batch's events carry the
@@ -651,16 +696,16 @@ func (b *Bus) handleEventBatch(ms *memberState, pkt *wire.Packet) {
 		if b.auth != nil {
 			if err := b.auth.AuthorizePublish(pkt.Sender, ms.deviceType, e); err != nil {
 				e.Release()
-				b.ctr.authDenied.Add(1)
+				b.ctl().authDenied.Add(1)
 				continue
 			}
 		}
 		if err := b.enqueuePublish(e); err != nil {
 			e.Release()
 			if errors.Is(err, ErrBusy) {
-				b.ctr.dropped.Add(1)
+				b.ctl().dropped.Add(1)
 			} else {
-				b.ctr.badPackets.Add(1)
+				b.ctl().badPackets.Add(1)
 			}
 		}
 	}
@@ -669,16 +714,16 @@ func (b *Bus) handleEventBatch(ms *memberState, pkt *wire.Packet) {
 func (b *Bus) handleDataPacket(pkt *wire.Packet) {
 	ms, ok := b.memberState(pkt.Sender)
 	if !ok {
-		b.ctr.nonMember.Add(1)
+		b.ctl().nonMember.Add(1)
 		return
 	}
 	// Raw device bytes: the member's proxy performs the
 	// pre-processing into fully fledged event objects (§III-B).
 	if err := ms.px.HandleInbound(pkt.Payload); err != nil {
 		if errors.Is(err, ErrBusy) {
-			b.ctr.dropped.Add(1)
+			b.ctl().dropped.Add(1)
 		} else {
-			b.ctr.badPackets.Add(1)
+			b.ctl().badPackets.Add(1)
 		}
 	}
 }
@@ -686,31 +731,31 @@ func (b *Bus) handleDataPacket(pkt *wire.Packet) {
 func (b *Bus) handleSubscriptionPacket(pkt *wire.Packet) {
 	ms, ok := b.memberState(pkt.Sender)
 	if !ok {
-		b.ctr.nonMember.Add(1)
+		b.ctl().nonMember.Add(1)
 		return
 	}
 	f, err := wire.DecodeFilter(pkt.Payload)
 	if err != nil {
-		b.ctr.badPackets.Add(1)
+		b.ctl().badPackets.Add(1)
 		return
 	}
 	if pkt.Type == wire.PktSubscribe {
 		if b.auth != nil {
 			if err := b.auth.AuthorizeSubscribe(pkt.Sender, ms.deviceType, f); err != nil {
-				b.ctr.authDenied.Add(1)
+				b.ctl().authDenied.Add(1)
 				return
 			}
 		}
 		if err := b.match.Subscribe(pkt.Sender, f); err != nil {
-			b.ctr.badPackets.Add(1)
+			b.ctl().badPackets.Add(1)
 			return
 		}
-		b.ctr.subscriptions.Add(1)
+		b.ctl().subscriptions.Add(1)
 		b.unquenchAll()
 		return
 	}
 	if err := b.match.Unsubscribe(pkt.Sender, f); err == nil {
-		b.ctr.unsubscriptions.Add(1)
+		b.ctl().unsubscriptions.Add(1)
 	}
 }
 
@@ -751,16 +796,20 @@ func (b *Bus) process(w *shardWorker, item workItem) {
 	if b.cost.enabled() {
 		sleepCost(b.cost.IngestPerEvent + time.Duration(item.size)*b.cost.PerByte)
 	}
-	b.ctr.published.Add(1)
+	w.ctr.published.Add(1)
 
-	w.targets = b.match.MatchAppend(item.e, w.targets[:0])
+	if b.scratchMatch != nil {
+		w.targets = b.scratchMatch.MatchAppendScratch(item.e, w.targets[:0], w.sc)
+	} else {
+		w.targets = b.match.MatchAppend(item.e, w.targets[:0])
+	}
 	if len(w.targets) == 0 {
-		b.ctr.noMatch.Add(1)
+		w.ctr.noMatch.Add(1)
 		b.maybeQuench(item.e.Sender)
 		item.e.Release()
 		return
 	}
-	b.ctr.matched.Add(1)
+	w.ctr.matched.Add(1)
 
 	snap := b.snap.Load()
 	var nLocal, nRemote uint64
@@ -781,10 +830,10 @@ func (b *Bus) process(w *shardWorker, item workItem) {
 		}
 	}
 	if nLocal > 0 {
-		b.ctr.deliveredLocal.Add(nLocal)
+		w.ctr.deliveredLocal.Add(nLocal)
 	}
 	if nRemote > 0 {
-		b.ctr.enqueuedRemote.Add(nRemote)
+		w.ctr.enqueuedRemote.Add(nRemote)
 	}
 	item.e.Release()
 }
@@ -800,7 +849,7 @@ func (b *Bus) maybeQuench(sender ident.ID) {
 	already := b.quenched[sender]
 	if isMember && !already {
 		b.quenched[sender] = true
-		b.ctr.quenches.Add(1)
+		b.ctl().quenches.Add(1)
 	}
 	b.mu.Unlock()
 	if isMember && !already {
@@ -815,7 +864,7 @@ func (b *Bus) unquenchAll() {
 		ids = append(ids, id)
 		delete(b.quenched, id)
 	}
-	b.ctr.unquenches.Add(uint64(len(ids)))
+	b.ctl().unquenches.Add(uint64(len(ids)))
 	b.mu.Unlock()
 	for _, id := range ids {
 		_ = b.ch.SendUnreliable(id, wire.PktUnquench, nil)

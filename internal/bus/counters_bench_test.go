@@ -1,0 +1,56 @@
+package bus
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkCounterLayout isolates the counter-layout decision behind
+// busCounters: every parallel goroutine bumps a counter per iteration,
+// and the three cases vary only where that counter lives.
+//
+//   - shared: all goroutines bump one block — the pre-PR layout, every
+//     increment contends on the same cache line.
+//   - sharded-unpadded: one 8-byte counter per goroutine, adjacent in
+//     one slice — logically uncontended but falsely shared, since many
+//     counters fit one cache line.
+//   - sharded-padded: one 128-byte-aligned block per goroutine — the
+//     layout the bus uses; no sharing, true or false.
+//
+// On a single hardware thread all three converge (there is nothing to
+// bounce); the split shows up under -cpu N on multi-core hosts and is
+// recorded in EXPERIMENTS.md.
+func BenchmarkCounterLayout(b *testing.B) {
+	const slots = 64 // ≥ GOMAXPROCS for any sane -cpu setting
+
+	b.Run("shared", func(b *testing.B) {
+		var c busCounters
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.published.Add(1)
+			}
+		})
+	})
+
+	b.Run("sharded-unpadded", func(b *testing.B) {
+		counters := make([]atomic.Uint64, slots)
+		var next atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			c := &counters[int(next.Add(1)-1)%slots]
+			for pb.Next() {
+				c.Add(1)
+			}
+		})
+	})
+
+	b.Run("sharded-padded", func(b *testing.B) {
+		blocks := make([]busCounters, slots)
+		var next atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			c := &blocks[int(next.Add(1)-1)%slots]
+			for pb.Next() {
+				c.published.Add(1)
+			}
+		})
+	})
+}

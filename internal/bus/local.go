@@ -75,7 +75,7 @@ func (l *LocalService) Subscribe(f *event.Filter, fn Handler) error {
 	hs = append(hs, localHandler{filter: f.Clone(), fn: fn})
 	l.handlers.Store(&hs)
 	l.mu.Unlock()
-	l.b.ctr.subscriptions.Add(1)
+	l.b.ctl().subscriptions.Add(1)
 	l.b.unquenchAll()
 	return nil
 }

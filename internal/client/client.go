@@ -42,6 +42,9 @@ type Client struct {
 
 	inbox chan *event.Event
 	data  chan []byte
+	// evFree recycles inbound decoded events owner-locally instead of
+	// through the global event pool (see event.FreeList).
+	evFree *event.FreeList
 
 	mu    sync.Mutex
 	stats Stats
@@ -85,11 +88,12 @@ func WithPublishBatching(maxEvents, maxBytes int, delay time.Duration) Option {
 // bus's service ID, and starts the receive loop.
 func New(ch *reliable.Channel, busID ident.ID, opts ...Option) *Client {
 	c := &Client{
-		ch:    ch,
-		bus:   busID,
-		inbox: make(chan *event.Event, 256),
-		data:  make(chan []byte, 256),
-		done:  make(chan struct{}),
+		ch:     ch,
+		bus:    busID,
+		evFree: event.NewFreeList(64),
+		inbox:  make(chan *event.Event, 256),
+		data:   make(chan []byte, 256),
+		done:   make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(c)
@@ -384,7 +388,7 @@ func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
 		// Borrowing decode into a pooled event (see Events for the
 		// consumer contract): the event keeps the packet alive, so
 		// nothing is copied here.
-		e := event.Acquire()
+		e := c.evFree.Acquire()
 		if err := wire.DecodeEventInto(e, pkt); err != nil {
 			e.Release()
 			return false
@@ -439,7 +443,7 @@ func (c *Client) handleEventBatch(pkt *wire.Packet) (stop bool) {
 		if err != nil {
 			return false
 		}
-		e := event.Acquire()
+		e := c.evFree.Acquire()
 		if err := wire.DecodeBatchFrameInto(e, frame, pkt); err != nil {
 			e.Release()
 			return false

@@ -3,6 +3,7 @@ package matcher
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
@@ -13,29 +14,65 @@ import (
 // types: per-attribute constraint indexes, a single pass over the
 // event's attributes, and a counter per filter. A filter matches when
 // its counter reaches its constraint count.
+//
+// The matcher is read-mostly — dispatch matches millions of events
+// against a subscription set that changes at human/device timescales —
+// so the read path is lock-free: Match loads an immutable index
+// snapshot through an atomic pointer and runs without taking any
+// mutex, exactly like the attribute-name intern table. Shard workers
+// on different cores therefore never serialise on a shared read lock
+// or bounce its cache line. Subscribe/Unsubscribe build the next
+// snapshot copy-on-write under a writer mutex and swap it in; the
+// delta path clones only the per-attribute indexes the changed filter
+// actually names (plus flat memcpy of the dense slot table), so
+// subscription churn does not rebuild the whole index.
 type FastMatcher struct {
-	mu sync.RWMutex
-	// subs holds one node per installed (subscriber, filter) pair.
+	// idx is the immutable index snapshot the lock-free read path
+	// loads. Everything reachable from it is frozen: writers replace
+	// the pointer, never mutate through it.
+	idx atomic.Pointer[fastIndex]
+
+	// mu serialises writers only; the read path never touches it.
+	mu sync.Mutex
+	// subs holds one node per installed (subscriber, filter) pair
+	// (writer-side bookkeeping for idempotence and Unsubscribe).
 	subs map[ident.ID][]*fastFilter
+	// free lists recyclable dense slots (writer-side).
+	free []int
+
+	// scratch pools per-match counting state for callers that do not
+	// supply their own Scratch.
+	scratch sync.Pool
+}
+
+var _ Matcher = (*FastMatcher)(nil)
+var _ ScratchMatcher = (*FastMatcher)(nil)
+
+// fastIndex is one immutable snapshot of the matcher's index. A
+// snapshot is built by a writer, published via FastMatcher.idx, and
+// never mutated afterwards; readers may hold it across an arbitrary
+// window (they only ever see a consistent subscription set).
+type fastIndex struct {
 	// index maps attribute name to the per-operator constraint index.
 	index map[string]*attrIndex
 	// dense assigns every installed filter a small integer slot so
 	// that matching can count satisfied constraints in a flat array
 	// instead of a map (the hot path of the counting algorithm).
+	// Freed slots are nil until reused.
 	dense []*fastFilter
-	free  []int
-	count int
 	// empties lists installed filters with no constraints; they never
 	// enter the attribute index (they match everything) and keeping
 	// them separate spares Match a scan over every subscriber.
 	empties []*fastFilter
-	// scratch pools per-match counter arrays.
-	scratch sync.Pool
+	// count is the number of installed (subscriber, filter) pairs.
+	count int
 }
 
-var _ Matcher = (*FastMatcher)(nil)
+// emptyFastIndex is the snapshot of a matcher with no subscriptions.
+var emptyFastIndex = &fastIndex{index: map[string]*attrIndex{}}
 
-// fastFilter is one installed filter with its constraint count.
+// fastFilter is one installed filter with its constraint count. It is
+// immutable after construction, so snapshots share the nodes.
 type fastFilter struct {
 	sub    ident.ID
 	filter *event.Filter
@@ -43,20 +80,7 @@ type fastFilter struct {
 	idx    int
 }
 
-// matchScratch is the per-match counting state: counts[i] is the
-// number of satisfied constraints of dense[i] in the current match,
-// valid only when stamps[i] equals the current epoch — so the arrays
-// never need zeroing between matches. matched and seen are reused
-// across matches so the hot path performs no allocation at all.
-type matchScratch struct {
-	counts  []int32
-	stamps  []uint32
-	epoch   uint32
-	matched []*fastFilter
-	seen    map[ident.ID]struct{}
-}
-
-// constraintRef ties a constraint back to its filter.
+// constraintRef ties a constraint back to its filter. Immutable.
 type constraintRef struct {
 	c event.Constraint
 	f *fastFilter
@@ -64,7 +88,8 @@ type constraintRef struct {
 
 // attrIndex indexes the constraints that name one attribute, organised
 // by operator class so that matching touches as few constraints as
-// possible.
+// possible. Within a published snapshot an attrIndex is immutable;
+// writers clone the (few) indexes a subscription delta touches.
 type attrIndex struct {
 	// eq maps a hashable value key to refs with that exact bound.
 	eq map[valueKey][]*constraintRef
@@ -77,6 +102,26 @@ type attrIndex struct {
 	linear []*constraintRef
 	// exists holds OpExists refs (satisfied by presence alone).
 	exists []*constraintRef
+}
+
+// clone deep-copies the attrIndex structure (the constraintRefs inside
+// are immutable and shared between snapshots).
+func (ai *attrIndex) clone() *attrIndex {
+	c := &attrIndex{eq: make(map[valueKey][]*constraintRef, len(ai.eq))}
+	for k, refs := range ai.eq {
+		c.eq[k] = append([]*constraintRef(nil), refs...)
+	}
+	c.less = append([]orderedRef(nil), ai.less...)
+	c.greater = append([]orderedRef(nil), ai.greater...)
+	c.linear = append([]*constraintRef(nil), ai.linear...)
+	c.exists = append([]*constraintRef(nil), ai.exists...)
+	return c
+}
+
+// empty reports whether the index holds no constraints at all.
+func (ai *attrIndex) empty() bool {
+	return len(ai.eq) == 0 && len(ai.less) == 0 && len(ai.greater) == 0 &&
+		len(ai.linear) == 0 && len(ai.exists) == 0
 }
 
 type orderedRef struct {
@@ -144,15 +189,50 @@ func probeKeys(v event.Value) (keys [2]valueKey, n int) {
 // NewFast returns an empty FastMatcher.
 func NewFast() *FastMatcher {
 	m := &FastMatcher{
-		subs:  make(map[ident.ID][]*fastFilter),
-		index: make(map[string]*attrIndex),
+		subs: make(map[ident.ID][]*fastFilter),
 	}
-	m.scratch.New = func() interface{} { return &matchScratch{} }
+	m.idx.Store(emptyFastIndex)
+	m.scratch.New = func() interface{} { return NewScratch() }
 	return m
 }
 
 // Name implements Matcher.
 func (m *FastMatcher) Name() string { return string(KindFast) }
+
+// cloneDelta starts the next snapshot from cur: the index map is
+// shallow-copied (attrIndex values shared), dense and empties are
+// copied flat. Callers then clone the individual attrIndexes they
+// change via indexForWrite before mutating them — everything reachable
+// from the currently published snapshot stays frozen.
+func cloneDelta(cur *fastIndex) *fastIndex {
+	next := &fastIndex{
+		index:   make(map[string]*attrIndex, len(cur.index)+1),
+		dense:   append([]*fastFilter(nil), cur.dense...),
+		empties: append([]*fastFilter(nil), cur.empties...),
+		count:   cur.count,
+	}
+	for name, ai := range cur.index {
+		next.index[name] = ai
+	}
+	return next
+}
+
+// indexForWrite returns a mutable attrIndex for name inside the
+// snapshot under construction, cloning the one shared with the
+// previous snapshot on first touch.
+func (next *fastIndex) indexForWrite(name string, cloned map[string]bool) *attrIndex {
+	ai, ok := next.index[name]
+	switch {
+	case !ok:
+		ai = &attrIndex{eq: make(map[valueKey][]*constraintRef)}
+		next.index[name] = ai
+	case !cloned[name]:
+		ai = ai.clone()
+		next.index[name] = ai
+	}
+	cloned[name] = true
+	return ai
+}
 
 // Subscribe implements Matcher.
 func (m *FastMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
@@ -169,33 +249,27 @@ func (m *FastMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
 			return nil // idempotent
 		}
 	}
+	next := cloneDelta(m.idx.Load())
 	ff := &fastFilter{sub: sub, filter: f.Clone(), need: int32(f.Len())}
 	if n := len(m.free); n > 0 {
 		ff.idx = m.free[n-1]
 		m.free = m.free[:n-1]
-		m.dense[ff.idx] = ff
+		next.dense[ff.idx] = ff
 	} else {
-		ff.idx = len(m.dense)
-		m.dense = append(m.dense, ff)
+		ff.idx = len(next.dense)
+		next.dense = append(next.dense, ff)
 	}
 	m.subs[sub] = append(m.subs[sub], ff)
-	m.count++
+	next.count++
 	if ff.need == 0 {
-		m.empties = append(m.empties, ff)
+		next.empties = append(next.empties, ff)
 	}
+	cloned := make(map[string]bool, f.Len())
 	for _, c := range ff.filter.Constraints() {
-		m.indexFor(c.Name).add(&constraintRef{c: c, f: ff})
+		next.indexForWrite(c.Name, cloned).add(&constraintRef{c: c, f: ff})
 	}
+	m.idx.Store(next)
 	return nil
-}
-
-func (m *FastMatcher) indexFor(name string) *attrIndex {
-	ai, ok := m.index[name]
-	if !ok {
-		ai = &attrIndex{eq: make(map[valueKey][]*constraintRef)}
-		m.index[name] = ai
-	}
-	return ai
 }
 
 func (ai *attrIndex) add(ref *constraintRef) {
@@ -286,9 +360,10 @@ func (m *FastMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
 		if len(m.subs[sub]) == 0 {
 			delete(m.subs, sub)
 		}
-		m.removeFromIndex(ff)
-		m.releaseSlot(ff)
-		m.count--
+		next := cloneDelta(m.idx.Load())
+		next.removeFilter(ff)
+		m.free = append(m.free, ff.idx)
+		m.idx.Store(next)
 		return nil
 	}
 	return ErrNoSuchSubscription
@@ -298,35 +373,41 @@ func (m *FastMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
 func (m *FastMatcher) UnsubscribeAll(sub ident.ID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, ff := range m.subs[sub] {
-		m.removeFromIndex(ff)
-		m.releaseSlot(ff)
-		m.count--
+	list := m.subs[sub]
+	if len(list) == 0 {
+		delete(m.subs, sub)
+		return
+	}
+	next := cloneDelta(m.idx.Load())
+	for _, ff := range list {
+		next.removeFilter(ff)
+		m.free = append(m.free, ff.idx)
 	}
 	delete(m.subs, sub)
+	m.idx.Store(next)
 }
 
-// releaseSlot returns a filter's dense slot to the free list. Caller
-// holds m.mu.
-func (m *FastMatcher) releaseSlot(ff *fastFilter) {
-	m.dense[ff.idx] = nil
-	m.free = append(m.free, ff.idx)
+// removeFilter detaches ff from the snapshot under construction:
+// affected attribute indexes are cloned on first touch, the dense slot
+// cleared, empties pruned. Caller holds m.mu and returns ff.idx to the
+// writer-side free list.
+func (next *fastIndex) removeFilter(ff *fastFilter) {
+	next.dense[ff.idx] = nil
+	next.count--
 	if ff.need == 0 {
-		for i, have := range m.empties {
+		for i, have := range next.empties {
 			if have == ff {
-				m.empties = append(m.empties[:i], m.empties[i+1:]...)
+				next.empties = append(next.empties[:i], next.empties[i+1:]...)
 				break
 			}
 		}
 	}
-}
-
-func (m *FastMatcher) removeFromIndex(ff *fastFilter) {
+	cloned := make(map[string]bool, ff.filter.Len())
 	for _, c := range ff.filter.Constraints() {
-		ai, ok := m.index[c.Name]
-		if !ok {
+		if _, ok := next.index[c.Name]; !ok {
 			continue
 		}
+		ai := next.indexForWrite(c.Name, cloned)
 		if k, ok2 := keyOf(c.Value); ok2 && c.Op == event.OpEq {
 			ai.eq[k] = removeRef(ai.eq[k], ff)
 			if len(ai.eq[k]) == 0 {
@@ -337,18 +418,16 @@ func (m *FastMatcher) removeFromIndex(ff *fastFilter) {
 		ai.greater = removeOrdered(ai.greater, ff)
 		ai.linear = removeRef(ai.linear, ff)
 		ai.exists = removeRef(ai.exists, ff)
-		if len(ai.eq) == 0 && len(ai.less) == 0 && len(ai.greater) == 0 &&
-			len(ai.linear) == 0 && len(ai.exists) == 0 {
-			delete(m.index, c.Name)
+		if ai.empty() {
+			delete(next.index, c.Name)
 		}
 	}
 }
 
-// SubscriptionCount implements Matcher.
+// SubscriptionCount implements Matcher. Lock-free: it reads the
+// current snapshot.
 func (m *FastMatcher) SubscriptionCount() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.count
+	return m.idx.Load().count
 }
 
 // Match implements Matcher. See MatchAppend.
@@ -356,20 +435,30 @@ func (m *FastMatcher) Match(e *event.Event) []ident.ID {
 	return m.MatchAppend(e, nil)
 }
 
-// MatchAppend implements Matcher via the counting algorithm: one pass
-// over the event's attributes, bumping a counter per touched filter;
-// filters whose every constraint is satisfied match. Empty filters
-// match everything. Counters, the matched list and the dedup set live
-// in pooled epoch-stamped scratch so the hot path performs no per-match
-// allocation.
+// MatchAppend implements Matcher using pooled scratch; see
+// MatchAppendScratch for the algorithm.
 func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	sc, _ := m.scratch.Get().(*Scratch)
+	dst = m.MatchAppendScratch(e, dst, sc)
+	m.scratch.Put(sc)
+	return dst
+}
 
-	sc, _ := m.scratch.Get().(*matchScratch)
-	if len(sc.counts) < len(m.dense) {
-		sc.counts = make([]int32, len(m.dense)+16)
-		sc.stamps = make([]uint32, len(m.dense)+16)
+// MatchAppendScratch implements ScratchMatcher via the counting
+// algorithm: one pass over the event's attributes, bumping a counter
+// per touched filter; filters whose every constraint is satisfied
+// match. Empty filters match everything. The entire match runs against
+// one immutable index snapshot loaded through an atomic pointer — no
+// lock is taken, so concurrent matches on different cores share
+// nothing but read-only memory and scale with cores. Counters, the
+// matched list and the dedup set live in the caller's epoch-stamped
+// scratch so the hot path performs no per-match allocation.
+func (m *FastMatcher) MatchAppendScratch(e *event.Event, dst []ident.ID, sc *Scratch) []ident.ID {
+	idx := m.idx.Load()
+
+	if len(sc.counts) < len(idx.dense) {
+		sc.counts = make([]int32, len(idx.dense)+16)
+		sc.stamps = make([]uint32, len(idx.dense)+16)
 		sc.epoch = 0
 	}
 	sc.epoch++
@@ -388,7 +477,6 @@ func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 			delete(sc.seen, id)
 		}
 		sc.matched = sc.matched[:0]
-		m.scratch.Put(sc)
 	}()
 
 	bump := func(ref *constraintRef) {
@@ -409,7 +497,7 @@ func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 	// array read).
 	for ei, en := 0, e.Len(); ei < en; ei++ {
 		name, v := e.At(ei)
-		ai, ok := m.index[name]
+		ai, ok := idx.index[name]
 		if !ok {
 			continue
 		}
@@ -458,7 +546,7 @@ func (m *FastMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 		}
 	}
 	// Empty filters (need == 0) never enter the index; they match all.
-	for _, ff := range m.empties {
+	for _, ff := range idx.empties {
 		if _, dup := sc.seen[ff.sub]; !dup {
 			sc.seen[ff.sub] = struct{}{}
 			dst = append(dst, ff.sub)

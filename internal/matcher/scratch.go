@@ -1,0 +1,46 @@
+package matcher
+
+import (
+	"github.com/amuse/smc/internal/event"
+	"github.com/amuse/smc/internal/ident"
+)
+
+// Scratch is caller-owned per-match working state. The bus gives every
+// shard worker its own Scratch so the dispatch hot path reuses one set
+// of counter arrays and dedup maps without ever crossing a sync.Pool —
+// pool Get/Put is cheap but still rendezvouses goroutines on shared
+// per-P structures, which is measurable when every published event
+// pays it. A Scratch must only be used by one goroutine at a time.
+//
+// One Scratch works with every matcher kind: FastMatcher uses the
+// counting arrays and the dedup set, TypedMatcher only the dedup set,
+// and SienaMatcher ignores it entirely (its per-match allocations are
+// the §V overhead under measurement and are pinned — see
+// TestSienaTranslationAllocsPinned).
+type Scratch struct {
+	// counts[i] is the number of satisfied constraints of dense[i] in
+	// the current match, valid only when stamps[i] equals epoch — so
+	// the arrays never need zeroing between matches.
+	counts []int32
+	stamps []uint32
+	epoch  uint32
+	// matched collects fully satisfied filters during one match.
+	matched []*fastFilter
+	// seen dedups subscriber IDs across a match's filters.
+	seen map[ident.ID]struct{}
+}
+
+// NewScratch returns an empty Scratch, ready for use with any matcher.
+func NewScratch() *Scratch {
+	return &Scratch{seen: make(map[ident.ID]struct{}, 8)}
+}
+
+// ScratchMatcher is implemented by matchers whose match path can run
+// on caller-owned scratch instead of internally pooled state. All
+// in-tree matchers implement it; the bus type-asserts once and gives
+// each shard worker a private Scratch.
+type ScratchMatcher interface {
+	// MatchAppendScratch is MatchAppend running on sc. sc must not be
+	// shared between concurrent calls.
+	MatchAppendScratch(e *event.Event, dst []ident.ID, sc *Scratch) []ident.ID
+}

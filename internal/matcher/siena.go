@@ -3,6 +3,7 @@ package matcher
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
@@ -16,14 +17,36 @@ import (
 // subscription. Subscriptions are kept in a covering poset, as in
 // Siena's server: a filter that is covered by a non-matching ancestor
 // is skipped without evaluation.
+//
+// The read path is lock-free: Match loads an immutable poset snapshot
+// through an atomic pointer. Writers rebuild the node slice under a
+// writer mutex — poset insertion is already O(n) (covering is computed
+// against every existing node), so the O(n) clone-and-remap that keeps
+// published snapshots immutable does not change Subscribe's complexity
+// class. The per-match translation allocations are untouched: they are
+// the §V overhead under measurement (TestSienaTranslationAllocsPinned).
 type SienaMatcher struct {
-	mu    sync.RWMutex
-	nodes []*sienaNode
+	// snap is the immutable poset snapshot the lock-free read path
+	// loads. Nodes and their parent edges are frozen once published.
+	snap atomic.Pointer[sienaIndex]
+
+	// mu serialises writers only.
+	mu sync.Mutex
 }
 
 var _ Matcher = (*SienaMatcher)(nil)
+var _ ScratchMatcher = (*SienaMatcher)(nil)
 
-// sienaNode is one poset entry.
+// sienaIndex is one immutable poset snapshot.
+type sienaIndex struct {
+	nodes []*sienaNode
+}
+
+var emptySienaIndex = &sienaIndex{}
+
+// sienaNode is one poset entry. Within a published snapshot a node is
+// immutable; writers clone every node (remapping parent edges) when
+// the poset changes.
 type sienaNode struct {
 	sub      ident.ID
 	original *event.Filter // retained for Unsubscribe equality
@@ -61,7 +84,9 @@ type sienaFilter []sienaConstraint
 
 // NewSiena returns an empty SienaMatcher.
 func NewSiena() *SienaMatcher {
-	return &SienaMatcher{}
+	m := &SienaMatcher{}
+	m.snap.Store(emptySienaIndex)
+	return m
 }
 
 // Name implements Matcher.
@@ -281,8 +306,39 @@ func matchFilter(f sienaFilter, n sienaNotification) bool {
 	return true
 }
 
+// clonePoset copies the poset for the next snapshot: fresh node
+// structs with parent edges remapped onto the clones (edges to nodes
+// in dead are dropped). The translated filters and originals are
+// immutable and shared. Runs under m.mu.
+func clonePoset(cur []*sienaNode, dead map[*sienaNode]bool) []*sienaNode {
+	remap := make(map[*sienaNode]*sienaNode, len(cur))
+	next := make([]*sienaNode, 0, len(cur))
+	for _, n := range cur {
+		if dead[n] {
+			continue
+		}
+		c := &sienaNode{sub: n.sub, original: n.original, filter: n.filter}
+		remap[n] = c
+		next = append(next, c)
+	}
+	for _, n := range cur {
+		if dead[n] {
+			continue
+		}
+		c := remap[n]
+		for _, p := range n.parents {
+			if np, ok := remap[p]; ok {
+				c.parents = append(c.parents, np)
+			}
+		}
+	}
+	return next
+}
+
 // Subscribe implements Matcher. Poset edges are computed against every
-// existing node (Siena's O(n) poset insertion).
+// existing node (Siena's O(n) poset insertion); the whole poset is
+// cloned for the next snapshot, which insertion's own O(n) cover
+// checks dominate.
 func (m *SienaMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
 	if f == nil {
 		return ErrNilFilter
@@ -292,24 +348,27 @@ func (m *SienaMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, n := range m.nodes {
+	cur := m.snap.Load().nodes
+	for _, n := range cur {
 		if n.sub == sub && n.original.Equal(f) {
 			return nil // idempotent
 		}
 	}
+	next := clonePoset(cur, nil)
 	node := &sienaNode{
 		sub:      sub,
 		original: f.Clone(),
 		filter:   translateFilter(f),
 	}
-	for _, n := range m.nodes {
+	for _, n := range next {
 		if n.original.Covers(f) && !f.Covers(n.original) {
 			node.parents = append(node.parents, n)
 		} else if f.Covers(n.original) && !n.original.Covers(f) {
 			n.parents = append(n.parents, node)
 		}
 	}
-	m.nodes = append(m.nodes, node)
+	next = append(next, node)
+	m.snap.Store(&sienaIndex{nodes: next})
 	return nil
 }
 
@@ -320,11 +379,12 @@ func (m *SienaMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, n := range m.nodes {
+	cur := m.snap.Load().nodes
+	for _, n := range cur {
 		if n.sub != sub || !n.original.Equal(f) {
 			continue
 		}
-		m.removeNodeAt(i)
+		m.snap.Store(&sienaIndex{nodes: clonePoset(cur, map[*sienaNode]bool{n: true})})
 		return nil
 	}
 	return ErrNoSuchSubscription
@@ -334,32 +394,25 @@ func (m *SienaMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
 func (m *SienaMatcher) UnsubscribeAll(sub ident.ID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i := len(m.nodes) - 1; i >= 0; i-- {
-		if m.nodes[i].sub == sub {
-			m.removeNodeAt(i)
-		}
-	}
-}
-
-// removeNodeAt deletes a node and prunes it from every parent list.
-// Caller holds m.mu.
-func (m *SienaMatcher) removeNodeAt(i int) {
-	dead := m.nodes[i]
-	m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
-	for _, n := range m.nodes {
-		for j := len(n.parents) - 1; j >= 0; j-- {
-			if n.parents[j] == dead {
-				n.parents = append(n.parents[:j], n.parents[j+1:]...)
+	cur := m.snap.Load().nodes
+	var dead map[*sienaNode]bool
+	for _, n := range cur {
+		if n.sub == sub {
+			if dead == nil {
+				dead = make(map[*sienaNode]bool)
 			}
+			dead[n] = true
 		}
 	}
+	if dead == nil {
+		return
+	}
+	m.snap.Store(&sienaIndex{nodes: clonePoset(cur, dead)})
 }
 
-// SubscriptionCount implements Matcher.
+// SubscriptionCount implements Matcher. Lock-free.
 func (m *SienaMatcher) SubscriptionCount() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.nodes)
+	return len(m.snap.Load().nodes)
 }
 
 // Match implements Matcher. See MatchAppend.
@@ -367,17 +420,28 @@ func (m *SienaMatcher) Match(e *event.Event) []ident.ID {
 	return m.MatchAppend(e, nil)
 }
 
+// MatchAppendScratch implements ScratchMatcher. The scratch is
+// deliberately unused: Siena's per-match allocations (translation,
+// memo, dedup map) are the §V general-engine overhead under
+// measurement and must stay byte-for-byte with the seed
+// (TestSienaTranslationAllocsPinned) — only the lock acquisition is
+// gone from the read path.
+func (m *SienaMatcher) MatchAppendScratch(e *event.Event, dst []ident.ID, _ *Scratch) []ident.ID {
+	return m.MatchAppend(e, dst)
+}
+
 // MatchAppend implements Matcher: translate the event into Siena's
 // model, then evaluate the poset with memoisation (a node covered by a
-// non-matching ancestor is skipped). The per-match translation and
-// memo allocations are retained deliberately — they are the general-
-// engine overhead §V measures against the dedicated matcher.
+// non-matching ancestor is skipped). The poset is an immutable
+// snapshot loaded through an atomic pointer — no lock on the read
+// path. The per-match translation and memo allocations are retained
+// deliberately — they are the general-engine overhead §V measures
+// against the dedicated matcher.
 func (m *SienaMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	nodes := m.snap.Load().nodes
 
 	notif := translateEvent(e)
-	memo := make(map[*sienaNode]bool, len(m.nodes))
+	memo := make(map[*sienaNode]bool, len(nodes))
 	var eval func(n *sienaNode) bool
 	eval = func(n *sienaNode) bool {
 		if r, ok := memo[n]; ok {
@@ -397,7 +461,7 @@ func (m *SienaMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 	}
 
 	seen := make(map[ident.ID]bool, 8)
-	for _, n := range m.nodes {
+	for _, n := range nodes {
 		if eval(n) && !seen[n.sub] {
 			seen[n.sub] = true
 			dst = append(dst, n.sub)

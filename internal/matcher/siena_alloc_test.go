@@ -33,13 +33,15 @@ func seedTranslateEvent(e *event.Event) sienaNotification {
 	return n
 }
 
-// seedMatchAppend is a frozen copy of the seed's per-match path.
+// seedMatchAppend is a frozen copy of the seed's per-match path. The
+// seed guarded the poset with an RWMutex where the snapshot rewrite
+// loads an atomic pointer; neither allocates, so the allocation pin
+// below still compares exactly the translation/memo/dedup work.
 func seedMatchAppend(m *SienaMatcher, e *event.Event, dst []ident.ID) []ident.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	nodes := m.snap.Load().nodes
 
 	notif := seedTranslateEvent(e)
-	memo := make(map[*sienaNode]bool, len(m.nodes))
+	memo := make(map[*sienaNode]bool, len(nodes))
 	var eval func(n *sienaNode) bool
 	eval = func(n *sienaNode) bool {
 		if r, ok := memo[n]; ok {
@@ -56,7 +58,7 @@ func seedMatchAppend(m *SienaMatcher, e *event.Event, dst []ident.ID) []ident.ID
 		return r
 	}
 	seen := make(map[ident.ID]bool, 8)
-	for _, n := range m.nodes {
+	for _, n := range nodes {
 		if eval(n) && !seen[n.sub] {
 			seen[n.sub] = true
 			dst = append(dst, n.sub)

@@ -3,6 +3,7 @@ package matcher
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
@@ -25,17 +26,30 @@ import (
 // content-based engines, so the bus can host it unchanged. A filter
 // installed without a type-equality constraint is rejected: under
 // type-based pub/sub the type is the unit of subscription.
+//
+// Like the other engines the read path is lock-free: the type tree is
+// an immutable snapshot published through an atomic pointer, and
+// writers replace it by path copying — only the nodes on the changed
+// subscription's type path (plus shallow copies of their child maps)
+// are cloned, everything off-path is shared with the previous
+// snapshot.
 type TypedMatcher struct {
-	mu sync.RWMutex
-	// root indexes subscriptions by type-path segment.
-	root *typeNode
+	// root is the immutable type-tree snapshot read lock-free by
+	// Match.
+	root atomic.Pointer[typeNode]
+
+	// mu serialises writers only.
+	mu sync.Mutex
 	// bySub tracks installed filters per subscriber for Unsubscribe.
 	bySub map[ident.ID][]*typedSub
-	count int
+	count atomic.Int64
 }
 
 var _ Matcher = (*TypedMatcher)(nil)
+var _ ScratchMatcher = (*TypedMatcher)(nil)
 
+// typeNode is one node of an immutable snapshot: never mutated after
+// publication. Writers clone nodes along the changed path.
 type typeNode struct {
 	children map[string]*typeNode
 	// subs are subscriptions rooted exactly here; they match events
@@ -43,11 +57,14 @@ type typeNode struct {
 	subs []*typedSub
 }
 
+// typedSub is one installed subscription. Immutable; shared between
+// snapshots. path retains the parsed type path so writers can re-walk
+// it when unsubscribing.
 type typedSub struct {
 	sub    ident.ID
 	filter *event.Filter // original filter, for equality
 	guards []event.Constraint
-	node   *typeNode
+	path   []string
 }
 
 // KindTyped selects the type-based engine in matcher.New.
@@ -55,14 +72,26 @@ const KindTyped Kind = "typed"
 
 // NewTyped returns an empty TypedMatcher.
 func NewTypedMatcher() *TypedMatcher {
-	return &TypedMatcher{
-		root:  newTypeNode(),
-		bySub: make(map[ident.ID][]*typedSub),
-	}
+	m := &TypedMatcher{bySub: make(map[ident.ID][]*typedSub)}
+	m.root.Store(newTypeNode())
+	return m
 }
 
 func newTypeNode() *typeNode {
 	return &typeNode{children: make(map[string]*typeNode)}
+}
+
+// shallowClone copies the node: fresh children map (same child
+// pointers) and a fresh subs slice.
+func (n *typeNode) shallowClone() *typeNode {
+	c := &typeNode{
+		children: make(map[string]*typeNode, len(n.children)),
+		subs:     append([]*typedSub(nil), n.subs...),
+	}
+	for seg, child := range n.children {
+		c.children[seg] = child
+	}
+	return c
 }
 
 // Name implements Matcher.
@@ -96,6 +125,26 @@ func splitTypePath(s string) []string {
 	return out
 }
 
+// clonePath builds the next snapshot by cloning the nodes along path
+// from root (creating missing ones) and returns the new root plus the
+// cloned node at the end of the path, which the caller may mutate
+// before the snapshot is published.
+func clonePath(root *typeNode, path []string) (newRoot, at *typeNode) {
+	newRoot = root.shallowClone()
+	node := newRoot
+	for _, seg := range path {
+		child, ok := node.children[seg]
+		if ok {
+			child = child.shallowClone()
+		} else {
+			child = newTypeNode()
+		}
+		node.children[seg] = child
+		node = child
+	}
+	return newRoot, node
+}
+
 // Subscribe implements Matcher. The filter must pin the event type.
 func (m *TypedMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
 	if f == nil {
@@ -115,19 +164,12 @@ func (m *TypedMatcher) Subscribe(sub ident.ID, f *event.Filter) error {
 			return nil // idempotent
 		}
 	}
-	node := m.root
-	for _, seg := range path {
-		child, okc := node.children[seg]
-		if !okc {
-			child = newTypeNode()
-			node.children[seg] = child
-		}
-		node = child
-	}
-	ts := &typedSub{sub: sub, filter: f.Clone(), guards: guards, node: node}
+	ts := &typedSub{sub: sub, filter: f.Clone(), guards: guards, path: path}
+	newRoot, node := clonePath(m.root.Load(), path)
 	node.subs = append(node.subs, ts)
 	m.bySub[sub] = append(m.bySub[sub], ts)
-	m.count++
+	m.count.Add(1)
+	m.root.Store(newRoot)
 	return nil
 }
 
@@ -155,8 +197,10 @@ func (m *TypedMatcher) Unsubscribe(sub ident.ID, f *event.Filter) error {
 		if len(m.bySub[sub]) == 0 {
 			delete(m.bySub, sub)
 		}
-		removeTypedSub(ts.node, ts)
-		m.count--
+		newRoot, node := clonePath(m.root.Load(), ts.path)
+		removeTypedSub(node, ts)
+		m.count.Add(-1)
+		m.root.Store(newRoot)
 		return nil
 	}
 	return ErrNoSuchSubscription
@@ -175,18 +219,27 @@ func removeTypedSub(n *typeNode, ts *typedSub) {
 func (m *TypedMatcher) UnsubscribeAll(sub ident.ID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, ts := range m.bySub[sub] {
-		removeTypedSub(ts.node, ts)
-		m.count--
+	list := m.bySub[sub]
+	if len(list) == 0 {
+		delete(m.bySub, sub)
+		return
+	}
+	// One path copy per filter, chained in memory; a single Store
+	// publishes the final tree.
+	root := m.root.Load()
+	for _, ts := range list {
+		var node *typeNode
+		root, node = clonePath(root, ts.path)
+		removeTypedSub(node, ts)
+		m.count.Add(-1)
 	}
 	delete(m.bySub, sub)
+	m.root.Store(root)
 }
 
-// SubscriptionCount implements Matcher.
+// SubscriptionCount implements Matcher. Lock-free.
 func (m *TypedMatcher) SubscriptionCount() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.count
+	return int(m.count.Load())
 }
 
 // Match implements Matcher. See MatchAppend.
@@ -194,25 +247,33 @@ func (m *TypedMatcher) Match(e *event.Event) []ident.ID {
 	return m.MatchAppend(e, nil)
 }
 
-// typedScratch pools the per-match dedup sets so the type walk stays
-// allocation-free apart from the caller's target slice.
-var typedScratch = sync.Pool{New: func() interface{} {
-	return make(map[ident.ID]struct{}, 8)
-}}
+// typedScratch pools per-match Scratch for callers without their own.
+var typedScratch = sync.Pool{New: func() interface{} { return NewScratch() }}
 
-// MatchAppend implements Matcher: walk the event's type path from the
-// root, collecting subscriptions at every ancestor (a subscription to
-// "reading" sees "reading/heart-rate"), then apply content guards.
+// MatchAppend implements Matcher using pooled scratch; see
+// MatchAppendScratch.
 func (m *TypedMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	sc := typedScratch.Get().(*Scratch)
+	dst = m.MatchAppendScratch(e, dst, sc)
+	typedScratch.Put(sc)
+	return dst
+}
 
-	seen := typedScratch.Get().(map[ident.ID]struct{})
+// MatchAppendScratch implements ScratchMatcher: walk the event's type
+// path from the root of the current snapshot, collecting subscriptions
+// at every ancestor (a subscription to "reading" sees
+// "reading/heart-rate"), then apply content guards. The walk takes no
+// lock — the snapshot is immutable — and the dedup set lives in the
+// caller's scratch.
+func (m *TypedMatcher) MatchAppendScratch(e *event.Event, dst []ident.ID, sc *Scratch) []ident.ID {
+	if sc.seen == nil {
+		sc.seen = make(map[ident.ID]struct{}, 8)
+	}
+	seen := sc.seen
 	defer func() {
 		for id := range seen {
 			delete(seen, id)
 		}
-		typedScratch.Put(seen)
 	}()
 	collect := func(n *typeNode) {
 		for _, ts := range n.subs {
@@ -225,7 +286,7 @@ func (m *TypedMatcher) MatchAppend(e *event.Event, dst []ident.ID) []ident.ID {
 			}
 		}
 	}
-	node := m.root
+	node := m.root.Load()
 	collect(node) // subscriptions to the root type ("" = all types)
 	// Walk the '/'-separated path by slicing in place (no Split
 	// allocation on the match path).

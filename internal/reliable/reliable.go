@@ -87,13 +87,27 @@ type Stats struct {
 }
 
 // counters is the hot-path representation of Stats.
+// counters splits the channel's atomics into a send-path group
+// (bumped by publisher callers and per-destination sender goroutines)
+// and a receive-path group (bumped only by the receive loop), padded
+// apart to two cache lines (the spatial-prefetcher granule): without
+// the gap, a sender's sent.Add and the receive loop's received.Add
+// land on the same line and every increment bounces it between cores.
 type counters struct {
-	sent, acked, retransmits, fastRetransmits atomic.Uint64
-	failures, resumed, streamResets           atomic.Uint64
-	received, dupsDropped, buffered           atomic.Uint64
-	staleAcks, staleEpoch                     atomic.Uint64
-	unreliableIn, unreliableOut               atomic.Uint64
-	batchesSent, piggybackAcks                atomic.Uint64
+	// Send path.
+	sent, retransmits, fastRetransmits atomic.Uint64
+	failures, resumed, streamResets    atomic.Uint64
+	unreliableOut, batchesSent         atomic.Uint64
+
+	_ [128 - (8*8)%128]byte
+
+	// Receive path (acks are processed on the receive loop, so ack
+	// accounting lives here with the inbound counters).
+	acked, received, dupsDropped, buffered atomic.Uint64
+	staleAcks, staleEpoch                  atomic.Uint64
+	unreliableIn, piggybackAcks            atomic.Uint64
+
+	_ [128 - (8*8)%128]byte
 }
 
 func (c *counters) snapshot(pool *wire.PacketPool) Stats {
@@ -170,6 +184,11 @@ type Completion struct {
 	done     chan struct{} // lazily created; closed on resolution
 	resolved bool
 	err      error
+	// home, when non-nil, is the per-destination free list this
+	// completion came from; Recycle routes it back there so one
+	// destination's send churn circulates through its own completions
+	// instead of rendezvousing on the global pool (see compFreeList).
+	home *compFreeList
 }
 
 // closedChan is returned by Done for already-resolved completions.
@@ -238,14 +257,65 @@ func (c *Completion) Recycle() {
 		c.done, c.err, c.resolved = nil, nil, false
 	}
 	c.mu.Unlock()
-	if ok {
-		completionPool.Put(c)
+	if !ok {
+		return
 	}
+	if fl := c.home; fl != nil {
+		if fl.put(c) {
+			return
+		}
+		c.home = nil // overflow: don't carry a stale home through the global pool
+	}
+	completionPool.Put(c)
 }
 
 var completionPool = sync.Pool{New: func() interface{} { return new(Completion) }}
 
 func newCompletion() *Completion { return completionPool.Get().(*Completion) }
+
+// compFreeList is a bounded per-destination Completion free list with
+// its own mutex: the sender acquires under the destination lock while
+// callers Recycle from arbitrary goroutines, and neither touches
+// global pool state for steady-state traffic. Lock order is always
+// destState.mu → compFreeList.mu (get) or compFreeList.mu alone (put),
+// so the two never deadlock.
+type compFreeList struct {
+	mu   sync.Mutex
+	free []*Completion
+}
+
+// maxFreeComps bounds a destination's completion free list; churn
+// beyond it falls through to the global pool.
+const maxFreeComps = 256
+
+// get pops a recycled completion or falls back to the global pool,
+// stamping the home so Recycle finds its way back.
+func (fl *compFreeList) get() *Completion {
+	var c *Completion
+	fl.mu.Lock()
+	if n := len(fl.free); n > 0 {
+		c = fl.free[n-1]
+		fl.free[n-1] = nil
+		fl.free = fl.free[:n-1]
+	}
+	fl.mu.Unlock()
+	if c == nil {
+		c = completionPool.Get().(*Completion)
+	}
+	c.home = fl
+	return c
+}
+
+// put files a reset completion; reports false when the list is full.
+func (fl *compFreeList) put(c *Completion) bool {
+	fl.mu.Lock()
+	ok := len(fl.free) < maxFreeComps
+	if ok {
+		fl.free = append(fl.free, c)
+	}
+	fl.mu.Unlock()
+	return ok
+}
 
 func failedCompletion(err error) *Completion {
 	c := newCompletion()
@@ -320,6 +390,10 @@ type destState struct {
 	fastRetx bool
 	deadline time.Time // retransmit deadline while inflight > 0
 	gone     bool      // forgotten or channel closed
+
+	// comps recycles this destination's completions (its own lock; see
+	// compFreeList).
+	comps compFreeList
 
 	notify chan struct{} // kicks the sender goroutine, cap 1
 }
@@ -596,7 +670,7 @@ func (c *Channel) enqueue(ds *destState, ptype wire.PacketType, flags byte, payl
 		op.bufp = bp
 	}
 	if wantComp {
-		comp = newCompletion()
+		comp = ds.comps.get()
 	}
 	op.comp = comp
 	ds.queue.push(op)
