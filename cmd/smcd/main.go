@@ -24,6 +24,7 @@ import (
 	"github.com/amuse/smc/internal/matcher"
 	"github.com/amuse/smc/internal/policy"
 	"github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/store"
 	"github.com/amuse/smc/internal/transport"
 )
 
@@ -46,6 +47,12 @@ func run() error {
 		drain      = flag.Duration("drain", 5*time.Second, "in-flight delivery drain budget on shutdown")
 		batch      = flag.Int("batch", 0, "coalesce up to N events per outbound packet (0: off)")
 		verbose    = flag.Bool("v", false, "log policy actions and membership changes")
+
+		durable      = flag.Bool("durable", false, "retain published events in a durable log for replay to durable consumers")
+		durableDir   = flag.String("durable-dir", "", "persist the durable log's sealed segments here (empty: memory-only; implies -durable)")
+		durableBytes = flag.Uint64("durable-max-bytes", 0, "durable log retention: max record bytes (0: layer default 16MiB)")
+		durableEvts  = flag.Uint64("durable-max-events", 0, "durable log retention: max retained events (0: unlimited)")
+		durableAge   = flag.Duration("durable-max-age", 0, "durable log retention: max record age (0: unlimited)")
 	)
 	flag.Parse()
 
@@ -73,6 +80,14 @@ func run() error {
 		Lease:   *lease,
 		Grace:   *grace,
 		Batch:   smc.BatchConfig{Events: *batch},
+	}
+	if *durable || *durableDir != "" {
+		cfg.Durable = &store.Config{
+			Dir:       *durableDir,
+			MaxBytes:  *durableBytes,
+			MaxEvents: *durableEvts,
+			MaxAge:    *durableAge,
+		}
 	}
 	if *verbose {
 		cfg.PolicyOptions = append(cfg.PolicyOptions,
@@ -111,6 +126,13 @@ func run() error {
 
 	fmt.Printf("cell      : %s\n", *cellName)
 	fmt.Printf("matcher   : %s\n", cell.Bus.MatcherName())
+	if log := cell.Bus.DurableLog(); log != nil {
+		mode := "memory"
+		if *durableDir != "" {
+			mode = *durableDir
+		}
+		fmt.Printf("durable   : epoch=%016x store=%s\n", log.Epoch(), mode)
+	}
 	fmt.Printf("bus       : %s (udp %s)\n", cell.Bus.ID(), busTr.LocalAddr())
 	fmt.Printf("discovery : %s (udp %s)\n", cell.Discovery.ID(), discTr.LocalAddr())
 	fmt.Printf("join with : sensorsim -cell %s -secret %s -discovery %s\n",

@@ -156,7 +156,28 @@ func statsQuery(tr transport.Transport, discID ident.ID) error {
 			st.EnqueuedRemote, st.Dropped, st.Quenches, st.AuthDenied)
 		printChannel("bus-channel ", st.BusChannel)
 		printChannel("disc-channel", st.DiscChannel)
+		printDurable(st)
 		return nil
+	}
+}
+
+// printDurable renders the durable log section: depth, cursor range,
+// retained bytes and per-consumer lag. Nothing is printed for a cell
+// without a durable log.
+func printDurable(st wire.CellStats) {
+	if !st.Log.Enabled {
+		return
+	}
+	l := st.Log
+	fmt.Printf("durable-log epoch=%016x events=%d bytes=%d segments=%d oldest-cursor=%d newest-cursor=%d\n",
+		l.Epoch, l.Events, l.Bytes, l.Segments, l.OldestCursor, l.NewestCursor)
+	fmt.Printf("durable-log appended=%d evicted=%d dups-dropped=%d seg-acquired=%d seg-recycled=%d seg-leaked=%d\n",
+		l.Appended, l.Evicted, l.DupsDropped,
+		l.SegmentsAcquired, l.SegmentsRecycled,
+		l.SegmentsAcquired-l.SegmentsRecycled)
+	for _, d := range st.Durables {
+		fmt.Printf("durable-consumer name=%s attached=%t delivered=%d lag=%d\n",
+			d.Name, d.Attached, d.Delivered, d.Lag)
 	}
 }
 

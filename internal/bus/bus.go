@@ -34,6 +34,7 @@ import (
 	"github.com/amuse/smc/internal/matcher"
 	"github.com/amuse/smc/internal/proxy"
 	"github.com/amuse/smc/internal/reliable"
+	"github.com/amuse/smc/internal/store"
 	"github.com/amuse/smc/internal/wire"
 )
 
@@ -275,6 +276,17 @@ type Bus struct {
 	nextLoc  uint64
 	closed   atomic.Bool // written under mu; read lock-free
 
+	// Durable subscriptions (durable.go). log is set once by
+	// WithDurableLog; the maps are guarded by durMu (never nested
+	// inside mu). durFilters counts installed durable filters so the
+	// quench path can tell, without the lock, that publishes matter
+	// even when the matcher finds no live subscriber.
+	log         *store.Log
+	durMu       sync.Mutex
+	durables    map[string]*durableState
+	durByMember map[ident.ID]*durableState
+	durFilters  atomic.Int64
+
 	// ctrs holds one padded counter block per shard worker plus a
 	// final block for the receive/control paths (index len-1).
 	ctrs []busCounters
@@ -287,6 +299,10 @@ type Bus struct {
 type memberState struct {
 	deviceType string
 	px         *proxy.Proxy
+	// via is the channel the member is reachable on (the proxy's
+	// sender); control replies like PktDurableAck go through it so
+	// they share the proxy's per-destination FIFO stream.
+	via proxy.Sender
 }
 
 // shardWorker is one pipeline worker: its own bounded queue plus
@@ -311,16 +327,18 @@ type workItem struct {
 // closes it on Close. Call Start to begin processing.
 func New(ch *reliable.Channel, m matcher.Matcher, reg *bootstrap.Registry, opts ...Option) *Bus {
 	b := &Bus{
-		ch:         ch,
-		match:      m,
-		registry:   reg,
-		proxyCfg:   proxy.DefaultConfig(),
-		queueDepth: 4096,
-		shards:     runtime.GOMAXPROCS(0),
-		members:    make(map[ident.ID]*memberState),
-		locals:     make(map[ident.ID]*LocalService),
-		quenched:   make(map[ident.ID]bool),
-		done:       make(chan struct{}),
+		ch:          ch,
+		match:       m,
+		registry:    reg,
+		proxyCfg:    proxy.DefaultConfig(),
+		queueDepth:  4096,
+		shards:      runtime.GOMAXPROCS(0),
+		members:     make(map[ident.ID]*memberState),
+		locals:      make(map[ident.ID]*LocalService),
+		quenched:    make(map[ident.ID]bool),
+		durables:    make(map[string]*durableState),
+		durByMember: make(map[ident.ID]*durableState),
+		done:        make(chan struct{}),
 	}
 	b.snap.Store(emptyMembership)
 	for _, o := range opts {
@@ -435,6 +453,7 @@ func (b *Bus) Close() error {
 	b.extra = nil
 	b.mu.Unlock()
 
+	b.stopWalkers()
 	err := b.ch.Close()
 	for _, ch := range extra {
 		_ = ch.Close()
@@ -443,6 +462,11 @@ func (b *Bus) Close() error {
 	b.wg.Wait()
 	for _, ms := range members {
 		ms.px.Purge()
+	}
+	if b.log != nil {
+		if lerr := b.log.Close(); err == nil {
+			err = lerr
+		}
 	}
 	return err
 }
@@ -489,7 +513,7 @@ func (b *Bus) addMember(id ident.ID, deviceType, name string, via proxy.Sender) 
 	px := proxy.New(id, dev, via, func(e *event.Event) error {
 		return b.enqueuePublish(e)
 	}, b.proxyCfg)
-	b.members[id] = &memberState{deviceType: deviceType, px: px}
+	b.members[id] = &memberState{deviceType: deviceType, px: px, via: via}
 	b.rebuildSnapshot()
 	b.mu.Unlock()
 
@@ -517,6 +541,7 @@ func (b *Bus) RemoveMember(id ident.ID) {
 	if !ok {
 		return
 	}
+	b.detachDurable(id)
 	b.match.UnsubscribeAll(id)
 	ms.px.Purge()
 	b.ch.Forget(id)
@@ -607,6 +632,8 @@ func (b *Bus) handlePacket(pkt *wire.Packet) {
 		b.handleDataPacket(pkt)
 	case wire.PktSubscribe, wire.PktUnsubscribe:
 		b.handleSubscriptionPacket(pkt)
+	case wire.PktDurableResume:
+		b.handleDurableResume(pkt)
 	default:
 		// Discovery/control traffic does not belong on the bus
 		// endpoint (the discovery protocol "does not use the event
@@ -739,6 +766,12 @@ func (b *Bus) handleSubscriptionPacket(pkt *wire.Packet) {
 		b.ctl().badPackets.Add(1)
 		return
 	}
+	// A member bound to a durable consumer keeps its filters in the
+	// consumer's server-side state, never in the matcher: it is fed
+	// from the log by its walker, not by live dispatch (durable.go).
+	if b.handleDurableSubscription(pkt, ms, f) {
+		return
+	}
 	if pkt.Type == wire.PktSubscribe {
 		if b.auth != nil {
 			if err := b.auth.AuthorizeSubscribe(pkt.Sender, ms.deviceType, f); err != nil {
@@ -798,6 +831,24 @@ func (b *Bus) process(w *shardWorker, item workItem) {
 	}
 	w.ctr.published.Add(1)
 
+	if b.log != nil {
+		// Append before match: the log is the source of truth for
+		// durable consumers, and the append lock serialises cursor
+		// assignment across shards. A publish suppressed by the
+		// publisher dedup window is dropped whole — no live dispatch
+		// either, so redelivery after a sender restart is idempotent
+		// for live and durable subscribers alike.
+		var dedupID int64
+		hasDedup := false
+		if v, ok := item.e.Get(store.AttrDedup); ok {
+			dedupID, hasDedup = v.Int()
+		}
+		if _, dup := b.log.Append(item.e, dedupID, hasDedup); dup {
+			item.e.Release()
+			return
+		}
+	}
+
 	if b.scratchMatch != nil {
 		w.targets = b.scratchMatch.MatchAppendScratch(item.e, w.targets[:0], w.sc)
 	} else {
@@ -842,6 +893,13 @@ func (b *Bus) process(w *shardWorker, item workItem) {
 
 func (b *Bus) maybeQuench(sender ident.ID) {
 	if !b.quenchOn || sender.IsNil() {
+		return
+	}
+	// Durable filters live outside the matcher, so a no-match event may
+	// still matter: it is in the log and a walker may deliver it. Never
+	// quench a publisher while any durable filter is installed — a
+	// quenched publisher stops sending and the log would have gaps.
+	if b.log != nil && b.durFilters.Load() > 0 {
 		return
 	}
 	b.mu.Lock()

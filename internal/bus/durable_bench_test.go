@@ -1,0 +1,46 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/amuse/smc/internal/store"
+)
+
+// BenchmarkDurablePublish measures what the durable log costs the
+// publish pipeline: the BenchmarkBusHotPath workload with and without
+// a memory-backed log appending every published event (bounded
+// retention, so segment rotation and eviction are part of the measured
+// cost — the append itself encodes outside the log lock and checksums
+// with hardware CRC-32C).
+//
+// Two shapes: delivery=member/fanout=8 is the representative remote
+// fan-out pipeline a durable ward cell actually runs, and is the gated
+// configuration (log=on within 15% of log=off). delivery=local/
+// fanout=1 is the harshest possible denominator — pure in-process
+// dispatch with nothing to amortise against — and is tracked as
+// informational.
+func BenchmarkDurablePublish(b *testing.B) {
+	for _, shape := range []struct {
+		delivery string
+		fan      int
+	}{
+		{"member", 8},
+		{"local", 1},
+	} {
+		for _, mode := range []string{"off", "on"} {
+			name := fmt.Sprintf("delivery=%s/fanout=%d/log=%s", shape.delivery, shape.fan, mode)
+			b.Run(name, func(b *testing.B) {
+				opts := []Option{}
+				if mode == "on" {
+					l, err := store.Open(store.Config{MaxEvents: 65536})
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts = append(opts, WithDurableLog(l)) // closed by bus.Close
+				}
+				benchHotPath(b, shape.delivery, shape.fan, opts...)
+			})
+		}
+	}
+}

@@ -30,6 +30,12 @@ type Stats struct {
 	QuenchSuppressed uint64
 	EventsReceived   uint64
 	DataReceived     uint64
+	// DurableReceived counts durable deliveries handed to Events();
+	// DurableDeduped counts redeliveries dropped by the cursor floor
+	// (splice-boundary duplicates). DurableReceived deliveries are
+	// also counted in EventsReceived.
+	DurableReceived uint64
+	DurableDeduped  uint64
 }
 
 // Client is one member service's connection to the bus.
@@ -48,6 +54,14 @@ type Client struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Durable binding (durable.go). durName/durInit are set by the
+	// WithDurable option; the epoch and cursor floor are atomics so
+	// DurablePosition can snapshot them while the receive loop runs.
+	durName  string
+	durInit  DurablePosition
+	durEpoch atomic.Uint64
+	durFloor atomic.Uint64
 
 	batch pubBatcher
 
@@ -97,6 +111,9 @@ func New(ch *reliable.Channel, busID ident.ID, opts ...Option) *Client {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.durName != "" {
+		c.sendDurableResume()
 	}
 	c.wg.Add(1)
 	go c.recvLoop()
@@ -418,6 +435,10 @@ func (c *Client) handleInbound(pkt *wire.Packet) (stop bool) {
 			return true
 		default:
 		}
+	case wire.PktEventDurable:
+		return c.handleDurableEvent(pkt)
+	case wire.PktDurableAck:
+		c.handleDurableAck(pkt)
 	case wire.PktQuench:
 		c.quenched.Store(true)
 	case wire.PktUnquench:

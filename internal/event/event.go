@@ -88,6 +88,12 @@ type Event struct {
 	// Stamp is the publish time (informational; ordering never
 	// depends on clocks).
 	Stamp time.Time
+	// Cursor is the durable-log position of a replayed delivery, set
+	// by the bus's durable walker on events it decodes from the log.
+	// Zero on live (non-durable) events — cursors start at 1 — and
+	// never part of the wire event encoding: it travels only in the
+	// PktEventDurable framing.
+	Cursor uint64
 
 	n      int               // attribute count
 	inline [InlineAttrs]attr // storage while n <= InlineAttrs and spill == nil
@@ -368,6 +374,7 @@ func (e *Event) Clone() *Event {
 		Sender: e.Sender,
 		Seq:    e.Seq,
 		Stamp:  e.Stamp,
+		Cursor: e.Cursor,
 		n:      e.n,
 	}
 	if e.borrowed {

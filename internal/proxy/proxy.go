@@ -455,6 +455,16 @@ func (p *Proxy) releaseItem(it outItem) {
 // failure).
 func (p *Proxy) translateOut(e *event.Event) (outItem, bool) {
 	defer e.Release()
+	if e.Cursor != 0 {
+		// Durable replay delivery: frame the cursor over the frozen
+		// event encoding and skip device translation — durable
+		// consumers are event-stream clients, and the cursor must
+		// survive to the receiver for resume/dedup.
+		bp := wire.GetEncodeBuf()
+		payload := wire.AppendDurableEvent((*bp)[:0], e.Cursor, e)
+		*bp = payload
+		return outItem{ptype: wire.PktEventDurable, payload: payload, bufp: bp, events: 1}, true
+	}
 	src := e
 	if p.cloneOut {
 		src = e.Clone() // device mutates events; shed the shared copy
@@ -491,7 +501,9 @@ func (p *Proxy) gatherBatch() (outItem, bool) {
 	size := wire.BatchHeaderLen
 	if p.hasHeld {
 		p.hasHeld = false
-		if p.held.ptype == wire.PktData {
+		if p.held.ptype != wire.PktEvent {
+			// Device-native data and durable deliveries (cursor-framed
+			// payloads) never join a batch.
 			return p.held, true
 		}
 		items = append(items, p.held)
@@ -527,7 +539,7 @@ gather:
 		if !ok {
 			continue
 		}
-		if it.ptype == wire.PktData {
+		if it.ptype != wire.PktEvent {
 			if len(items) == 0 {
 				return it, true
 			}

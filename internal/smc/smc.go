@@ -21,6 +21,7 @@ import (
 	"github.com/amuse/smc/internal/proxy"
 	"github.com/amuse/smc/internal/reliable"
 	"github.com/amuse/smc/internal/sensor"
+	"github.com/amuse/smc/internal/store"
 	"github.com/amuse/smc/internal/transport"
 	"github.com/amuse/smc/internal/wire"
 )
@@ -50,6 +51,12 @@ type Config struct {
 	// Batch enables wire-level event batching on the cell's member
 	// proxies (bus.WithBatching).
 	Batch BatchConfig
+	// Durable, when non-nil, attaches a durable event log to the bus
+	// (bus.WithDurableLog): every admitted publish is retained under
+	// the log's retention knobs, and members may bind durable
+	// consumers to replay missed events after a disconnect. With
+	// Durable.Dir set the log survives a cell crash.
+	Durable *store.Config
 }
 
 // BatchConfig tunes wire-level event batching: up to Events frames or
@@ -100,6 +107,13 @@ func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
 	if cfg.Batch.enabled() {
 		busOpts = append(busOpts[:len(busOpts):len(busOpts)],
 			bus.WithBatching(cfg.Batch.Events, cfg.Batch.Bytes, cfg.Batch.FlushDelay))
+	}
+	if cfg.Durable != nil {
+		log, err := store.Open(*cfg.Durable)
+		if err != nil {
+			return nil, fmt.Errorf("smc: open durable log: %w", err)
+		}
+		busOpts = append(busOpts[:len(busOpts):len(busOpts)], bus.WithDurableLog(log))
 	}
 	busCh := reliable.New(busTr, cfg.Reliable)
 	b := bus.New(busCh, m, reg, busOpts...)
@@ -209,7 +223,7 @@ func (c *Cell) LeakCheck() (acquired, recycled uint64, clean bool) {
 func (c *Cell) StatsReport() wire.CellStats {
 	bst := c.Bus.Stats()
 	bs, ds := c.ChannelStats()
-	return wire.CellStats{
+	st := wire.CellStats{
 		Cell:           c.cellName,
 		Members:        uint32(len(c.Discovery.Members())),
 		Published:      bst.Published,
@@ -221,6 +235,8 @@ func (c *Cell) StatsReport() wire.CellStats {
 		BusChannel:     channelCounters(bs),
 		DiscChannel:    channelCounters(ds),
 	}
+	st.Log, st.Durables = c.Bus.LogReport()
+	return st
 }
 
 // channelCounters converts a reliable snapshot to its wire form.
@@ -266,16 +282,26 @@ type DeviceConfig struct {
 	// Batch enables publish-side event batching on the device's
 	// client (client.WithPublishBatching).
 	Batch BatchConfig
+	// Durable, when non-empty, binds the device to the named durable
+	// consumer on the cell: missed events are replayed from the
+	// cell's event log on (re)join. DurablePosition is the resume
+	// position from a previous session (client.DurablePosition);
+	// leave zero to replay everything retained.
+	Durable         string
+	DurablePosition client.DurablePosition
 }
 
-// clientOpts converts the device batch config into client options.
+// clientOpts converts the device config into client options.
 func (cfg DeviceConfig) clientOpts() []client.Option {
-	if !cfg.Batch.enabled() {
-		return nil
+	var opts []client.Option
+	if cfg.Batch.enabled() {
+		opts = append(opts,
+			client.WithPublishBatching(cfg.Batch.Events, cfg.Batch.Bytes, cfg.Batch.FlushDelay))
 	}
-	return []client.Option{
-		client.WithPublishBatching(cfg.Batch.Events, cfg.Batch.Bytes, cfg.Batch.FlushDelay),
+	if cfg.Durable != "" {
+		opts = append(opts, client.WithDurable(cfg.Durable, cfg.DurablePosition))
 	}
+	return opts
 }
 
 // Device is a joined member: a client connection plus the lease

@@ -79,6 +79,18 @@ const (
 	// PktStatsResponse answers a PktStatsRequest with an encoded
 	// CellStats payload.
 	PktStatsResponse
+	// PktDurableResume binds the sending member to a named durable
+	// consumer and asks the bus to replay the log from a position
+	// (durable.go). Sent right after admission, before any subscribe.
+	PktDurableResume
+	// PktDurableAck answers a PktDurableResume with the log epoch and
+	// the cursor replay starts after; it always precedes the first
+	// durable delivery on the member's stream.
+	PktDurableAck
+	// PktEventDurable carries one durable delivery: an 8-byte log
+	// cursor followed by the unchanged single-event encoding — the
+	// same strict layering over the frozen format as FlagBatch.
+	PktEventDurable
 )
 
 // String names the packet type.
@@ -114,6 +126,12 @@ func (t PacketType) String() string {
 		return "stats-request"
 	case PktStatsResponse:
 		return "stats-response"
+	case PktDurableResume:
+		return "durable-resume"
+	case PktDurableAck:
+		return "durable-ack"
+	case PktEventDurable:
+		return "event-durable"
 	default:
 		return "invalid"
 	}

@@ -38,6 +38,36 @@ func (c ChannelCounters) Leaked() uint64 {
 	return c.PacketsAcquired - c.PacketsRecycled
 }
 
+// LogCounters mirrors the durable event log's Stats on the wire. A
+// cell without a durable log reports Enabled=false and zeroes.
+type LogCounters struct {
+	Enabled          bool
+	Epoch            uint64
+	OldestCursor     uint64
+	NewestCursor     uint64
+	Events           uint64
+	Bytes            uint64
+	Segments         uint64
+	Appended         uint64
+	Evicted          uint64
+	DupsDropped      uint64
+	SegmentsAcquired uint64
+	SegmentsRecycled uint64
+}
+
+// DurableCounters is one durable consumer's management-plane row.
+type DurableCounters struct {
+	// Name is the durable consumer name.
+	Name string
+	// Attached reports whether a member is currently bound to it.
+	Attached bool
+	// Delivered is the last cursor handed to the member's proxy.
+	Delivered uint64
+	// Lag is NewestCursor - Delivered: retained events not yet
+	// dispatched to this consumer.
+	Lag uint64
+}
+
 // CellStats is the full management-plane snapshot of one cell.
 type CellStats struct {
 	// Cell is the cell's name.
@@ -54,6 +84,10 @@ type CellStats struct {
 	// BusChannel / DiscChannel are the two reliable endpoints.
 	BusChannel  ChannelCounters
 	DiscChannel ChannelCounters
+	// Log is the durable event log (zero value when disabled) and
+	// Durables its per-consumer lag rows.
+	Log      LogCounters
+	Durables []DurableCounters
 }
 
 func appendChannelCounters(dst []byte, c ChannelCounters) []byte {
@@ -99,6 +133,29 @@ func AppendCellStats(dst []byte, s CellStats) []byte {
 	}
 	dst = appendChannelCounters(dst, s.BusChannel)
 	dst = appendChannelCounters(dst, s.DiscChannel)
+	enabled := uint64(0)
+	if s.Log.Enabled {
+		enabled = 1
+	}
+	for _, v := range [...]uint64{
+		enabled, s.Log.Epoch, s.Log.OldestCursor, s.Log.NewestCursor,
+		s.Log.Events, s.Log.Bytes, s.Log.Segments, s.Log.Appended,
+		s.Log.Evicted, s.Log.DupsDropped,
+		s.Log.SegmentsAcquired, s.Log.SegmentsRecycled,
+	} {
+		dst = appendUvarint(dst, v)
+	}
+	dst = appendUvarint(dst, uint64(len(s.Durables)))
+	for _, d := range s.Durables {
+		dst = appendString(dst, d.Name)
+		attached := uint64(0)
+		if d.Attached {
+			attached = 1
+		}
+		dst = appendUvarint(dst, attached)
+		dst = appendUvarint(dst, d.Delivered)
+		dst = appendUvarint(dst, d.Lag)
+	}
 	return dst
 }
 
@@ -129,6 +186,47 @@ func DecodeCellStats(buf []byte) (CellStats, error) {
 	if err != nil {
 		return CellStats{}, err
 	}
+	var logv [12]uint64
+	for i := range logv {
+		v, err := r.uvarint()
+		if err != nil {
+			return CellStats{}, err
+		}
+		logv[i] = v
+	}
+	nDur, err := r.uvarint()
+	if err != nil {
+		return CellStats{}, err
+	}
+	if nDur > uint64(r.remaining()) {
+		return CellStats{}, fmt.Errorf("%w: durable count %d", ErrBadEncoding, nDur)
+	}
+	var durables []DurableCounters
+	if nDur > 0 {
+		durables = make([]DurableCounters, 0, nDur)
+	}
+	for i := uint64(0); i < nDur; i++ {
+		name, err := r.string()
+		if err != nil {
+			return CellStats{}, err
+		}
+		attached, err := r.uvarint()
+		if err != nil {
+			return CellStats{}, err
+		}
+		delivered, err := r.uvarint()
+		if err != nil {
+			return CellStats{}, err
+		}
+		lag, err := r.uvarint()
+		if err != nil {
+			return CellStats{}, err
+		}
+		durables = append(durables, DurableCounters{
+			Name: name, Attached: attached != 0,
+			Delivered: delivered, Lag: lag,
+		})
+	}
 	if r.remaining() != 0 {
 		return CellStats{}, fmt.Errorf("%w: cell-stats trailing bytes", ErrBadEncoding)
 	}
@@ -143,5 +241,13 @@ func DecodeCellStats(buf []byte) (CellStats, error) {
 		AuthDenied:     bus[5],
 		BusChannel:     busCh,
 		DiscChannel:    discCh,
+		Log: LogCounters{
+			Enabled: logv[0] != 0, Epoch: logv[1],
+			OldestCursor: logv[2], NewestCursor: logv[3],
+			Events: logv[4], Bytes: logv[5], Segments: logv[6],
+			Appended: logv[7], Evicted: logv[8], DupsDropped: logv[9],
+			SegmentsAcquired: logv[10], SegmentsRecycled: logv[11],
+		},
+		Durables: durables,
 	}, nil
 }

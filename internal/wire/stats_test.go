@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -25,13 +26,23 @@ func TestCellStatsRoundTrip(t *testing.T) {
 			Sent: 10, Acked: 10, Received: 30,
 			PacketsAcquired: 30, PacketsRecycled: 30,
 		},
+		Log: LogCounters{
+			Enabled: true, Epoch: 0xfeedface, OldestCursor: 100,
+			NewestCursor: 900, Events: 801, Bytes: 65536, Segments: 4,
+			Appended: 905, Evicted: 104, DupsDropped: 5,
+			SegmentsAcquired: 9, SegmentsRecycled: 5,
+		},
+		Durables: []DurableCounters{
+			{Name: "ward-nurse", Attached: true, Delivered: 890, Lag: 10},
+			{Name: "archive", Attached: false, Delivered: 450, Lag: 450},
+		},
 	}
 	buf := AppendCellStats(nil, in)
 	out, err := DecodeCellStats(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
 	}
 	if got := out.BusChannel.Leaked(); got != 1 {

@@ -27,12 +27,16 @@ const (
 	actRestart
 	actFederate
 	actPolicyLoad
+	actDegrade
+	actRoam
+	actReturn
 	numActions
 )
 
 var actionNames = [numActions]string{
 	"publish", "join", "leave", "subscribe", "unsubscribe",
 	"partition", "heal", "kill", "restart", "federate", "policy-load",
+	"degrade", "roam", "return",
 }
 
 var actionWeights = [numActions]int{
@@ -47,6 +51,9 @@ var actionWeights = [numActions]int{
 	actRestart:     6,
 	actFederate:    2,
 	actPolicyLoad:  2,
+	actDegrade:     4,
+	actRoam:        4,
+	actReturn:      6,
 }
 
 // maxActors bounds roster growth so long runs stay loopback-friendly.
@@ -121,7 +128,9 @@ func (h *harness) apply(kind actionKind) error {
 		return nil
 
 	case actLeave:
-		as := h.liveActors(func(a *actor) bool { return !a.partition })
+		// Durable actors roam (actRoam) instead of leaving: their
+		// consumer name must survive the run for the I5 lag oracle.
+		as := h.liveActors(func(a *actor) bool { return !a.partition && a.durable == "" })
 		if len(as) <= 2 {
 			return nil // keep a quorum of traffic sources
 		}
@@ -147,7 +156,7 @@ func (h *harness) apply(kind actionKind) error {
 		return nil
 
 	case actUnsubscribe:
-		as := h.liveActors(func(a *actor) bool { return a.subscribed && !a.partition })
+		as := h.liveActors(func(a *actor) bool { return a.subscribed && !a.partition && a.durable == "" })
 		if len(as) <= 1 {
 			return nil // keep at least one observer
 		}
@@ -174,7 +183,7 @@ func (h *harness) apply(kind actionKind) error {
 	case actHeal:
 		var parts []*actor
 		for _, a := range h.actors {
-			if a.partition {
+			if a.partition || a.lossy {
 				parts = append(parts, a)
 			}
 		}
@@ -184,6 +193,7 @@ func (h *harness) apply(kind actionKind) error {
 		a := h.pick(parts)
 		a.tr.SetSendHook(nil)
 		a.partition = false
+		a.lossy = false
 		h.logf("actor %d healed", a.id)
 		return nil
 
@@ -249,6 +259,57 @@ func (h *harness) apply(kind actionKind) error {
 		}
 		h.rejoinCellActors(slot)
 		h.logf("cell %s reloaded with policies", c.name)
+		return nil
+
+	case actDegrade:
+		// Degraded link: loss and reordering between real processes,
+		// harsher than a clean partition because traffic still flows.
+		as := h.liveActors(func(a *actor) bool { return !a.partition && !a.lossy })
+		if len(as) <= 2 {
+			return nil
+		}
+		a := h.pick(as)
+		a.tr.SetSendHook(lossyHook(h.rng.Int63()))
+		a.lossy = true
+		h.logf("actor %d degraded (loss+reorder)", a.id)
+		return nil
+
+	case actRoam:
+		// A durable subscriber walks out of range: silent close, no
+		// leave. Events published while it is away become replay debt.
+		var durs []*actor
+		for _, a := range h.actors {
+			if a.durable != "" && a.alive && !a.left {
+				durs = append(durs, a)
+			}
+		}
+		if len(durs) == 0 {
+			return nil
+		}
+		a := h.pick(durs)
+		_ = a.dev.Close()
+		a.alive = false
+		h.logf("durable actor %d (%s) roamed away", a.id, a.durable)
+		return nil
+
+	case actReturn:
+		// A roaming durable subscriber comes back and resumes from its
+		// last consumed cursor; the cell replays the gap.
+		var durs []*actor
+		for _, a := range h.actors {
+			if a.durable != "" && !a.alive && !a.left && h.cellAlive(a.cell) {
+				durs = append(durs, a)
+			}
+		}
+		if len(durs) == 0 {
+			return nil
+		}
+		a := h.pick(durs)
+		if err := h.joinActor(a); err != nil {
+			h.logf("durable actor %d return failed (tolerated, retried at quiesce): %v", a.id, err)
+		} else {
+			h.logf("durable actor %d (%s) returned", a.id, a.durable)
+		}
 		return nil
 	}
 	return nil

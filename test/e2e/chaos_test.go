@@ -19,6 +19,7 @@ var (
 	chaosSeeds   = flag.String("chaos.seeds", "1,2", "comma-separated fresh seeds to run")
 	chaosRecord  = flag.Bool("chaos.record", true, "append failing seeds to regression_seeds.json")
 	chaosBatch   = flag.Int("chaos.batch", 0, "run cells with -batch N event coalescing (0: off)")
+	chaosDurable = flag.Bool("chaos.durable", false, "run cells with a disk-backed durable log and one roaming durable subscriber per cell")
 )
 
 // runChaos executes one full chaos run and returns the first invariant

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/amuse/smc/internal/client"
 	"github.com/amuse/smc/internal/event"
 	"github.com/amuse/smc/internal/ident"
 	"github.com/amuse/smc/internal/reliable"
@@ -98,6 +99,12 @@ func (h *harness) startCell(c *cellProc, policyFile string) error {
 	}
 	if *chaosBatch > 0 {
 		args = append(args, "-batch", strconv.Itoa(*chaosBatch))
+	}
+	if *chaosDurable {
+		// The per-slot directory survives kill/restart, so a restarted
+		// daemon recovers its log from disk (crash recovery rotates the
+		// epoch; a graceful stop keeps it).
+		args = append(args, "-durable-dir", filepath.Join(h.tmpDir, "durlog-"+c.name))
 	}
 	if policyFile != "" {
 		args = append(args, "-policies", policyFile)
@@ -289,13 +296,18 @@ type actor struct {
 	left       bool // voluntarily gone for good
 	subscribed bool
 	partition  bool
+	lossy      bool   // degraded link (loss + reorder) installed
+	durable    string // durable consumer name; "" for plain actors
 	filter     *event.Filter
 
 	nextN int64
 
-	mu    sync.Mutex
-	recv  map[int][]int64 // pub -> n sequence, in arrival order
-	fence map[int]bool    // pub -> fence observed
+	mu           sync.Mutex
+	recv         map[int][]int64 // pub -> n sequence, in arrival order
+	fence        map[int]bool    // pub -> fence observed
+	durEpoch     uint64          // log epoch of the recorded stream
+	durCursor    uint64          // highest cursor consumed this epoch
+	durViolation string          // first exactly-once violation observed
 }
 
 // actorReliableCfg keeps the give-up horizon short (~1 s) so killed and
@@ -327,12 +339,23 @@ func (h *harness) joinActor(a *actor) error {
 	a.port = tr.LocalAddr().Port
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	dev, err := smcpkg.JoinCellWithRetry(ctx, tr, smcpkg.DeviceConfig{
+	cfg := smcpkg.DeviceConfig{
 		Type: "generic", Name: fmt.Sprintf("actor-%d", a.id),
 		Secret: []byte(c.secret), Cell: c.name, Discovery: c.discovery(),
 		JoinTimeout: 2 * time.Second,
 		Reliable:    actorReliableCfg,
-	}, smcpkg.RetryConfig{Attempts: 10, BaseDelay: 100 * time.Millisecond})
+	}
+	if a.durable != "" {
+		// Resume from the cursor of the last event the oracle actually
+		// consumed — the honest at-least-once pattern (resuming older
+		// than the inbox floor is always safe; the floor drops dupes).
+		a.mu.Lock()
+		cfg.Durable = a.durable
+		cfg.DurablePosition = client.DurablePosition{Epoch: a.durEpoch, Cursor: a.durCursor}
+		a.mu.Unlock()
+	}
+	dev, err := smcpkg.JoinCellWithRetry(ctx, tr, cfg,
+		smcpkg.RetryConfig{Attempts: 10, BaseDelay: 100 * time.Millisecond})
 	if err != nil {
 		return fmt.Errorf("actor %d join: %w", a.id, err)
 	}
@@ -348,6 +371,13 @@ func (h *harness) joinActor(a *actor) error {
 
 // recvLoop records every delivered event for the oracle. It exits when
 // the device incarnation closes; the maps persist across incarnations.
+//
+// Durable actors additionally run the exactly-once cursor oracle: every
+// durable delivery carries its log cursor, and within one log epoch the
+// consumed cursor must be strictly increasing — a repeat or rewind is a
+// duplicate delivery. A crash-recovered cell legitimately starts a new
+// epoch (cursors restart, retained events are redelivered), so an epoch
+// change resets the oracle's sequence history instead of flagging it.
 func (h *harness) recvLoop(a *actor, dev *smcpkg.Device) {
 	for e := range dev.Client.Events() {
 		pv, okP := e.Get("pub")
@@ -358,6 +388,26 @@ func (h *harness) recvLoop(a *actor, dev *smcpkg.Device) {
 			_, fence := e.Get("fence")
 			_, federated := e.Get(smcpkg.AttrFederatedFrom)
 			a.mu.Lock()
+			if a.durable != "" && e.Cursor != 0 {
+				// Within one device incarnation the epoch is fixed by the
+				// resume ack, which precedes every durable delivery.
+				epoch := dev.Client.DurablePosition().Epoch
+				switch {
+				case epoch != a.durEpoch:
+					a.durEpoch = epoch
+					a.durCursor = e.Cursor
+					a.recv = map[int][]int64{}
+					a.fence = map[int]bool{}
+				case e.Cursor <= a.durCursor:
+					if a.durViolation == "" {
+						a.durViolation = fmt.Sprintf(
+							"durable %s redelivered cursor %d (already consumed through %d, epoch %x)",
+							a.durable, e.Cursor, a.durCursor, epoch)
+					}
+				default:
+					a.durCursor = e.Cursor
+				}
+			}
 			a.recv[int(p64)] = append(a.recv[int(p64)], n)
 			if fence && !federated {
 				a.fence[int(p64)] = true
@@ -382,6 +432,23 @@ func (a *actor) chaosEvent() *event.Event {
 // faithful way to isolate an endpoint.)
 func dropAll(from, to ident.ID, data []byte) (bool, time.Duration) {
 	return true, 0
+}
+
+// lossyHook is the degraded link between real processes: a netsim-style
+// loss-and-reorder profile applied on the send side (~10% drop, 0–4 ms
+// jitter — delayed datagrams genuinely overtake later ones). The hook
+// owns its rng because transport sends happen on arbitrary goroutines.
+func lossyHook(seed int64) transport.DeliveryHook {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(from, to ident.ID, data []byte) (bool, time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if rng.Intn(10) == 0 {
+			return true, 0
+		}
+		return false, time.Duration(rng.Intn(5)) * time.Millisecond
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -486,7 +553,9 @@ func (h *harness) cellAlive(slot int) bool {
 }
 
 // newHarness boots nCells smcd processes and two actors per cell (both
-// publishers, the first also a subscriber from the start).
+// publishers, the first also a subscriber from the start). With
+// -chaos.durable each cell additionally hosts one durable roaming
+// subscriber fed from the cell's event log.
 func newHarness(t *testing.T, seed int64, nCells int) (*harness, error) {
 	h := &harness{
 		t:          t,
@@ -506,6 +575,13 @@ func newHarness(t *testing.T, seed int64, nCells int) (*harness, error) {
 	for i := 0; i < nCells; i++ {
 		for j := 0; j < 2; j++ {
 			if _, err := h.newActor(i, j == 0); err != nil {
+				return h, err
+			}
+		}
+	}
+	if *chaosDurable {
+		for i := 0; i < nCells; i++ {
+			if _, err := h.newDurableActor(i); err != nil {
 				return h, err
 			}
 		}
@@ -531,6 +607,29 @@ func (h *harness) newActor(cell int, subscribe bool) (*actor, error) {
 		}
 		a.subscribed = true
 	}
+	return a, nil
+}
+
+// newDurableActor joins a durable subscriber: its consumer name binds
+// it to the cell's event log, so it can roam (actRoam/actReturn) and
+// still see every retained event exactly once per log epoch.
+func (h *harness) newDurableActor(cell int) (*actor, error) {
+	a := &actor{
+		id:    len(h.actors),
+		cell:  cell,
+		recv:  map[int][]int64{},
+		fence: map[int]bool{},
+	}
+	a.durable = fmt.Sprintf("dur-%d", a.id)
+	h.actors = append(h.actors, a)
+	if err := h.joinActor(a); err != nil {
+		return nil, err
+	}
+	a.filter = event.NewFilter().WhereType("chaos")
+	if err := a.dev.Client.Subscribe(a.filter); err != nil {
+		return nil, err
+	}
+	a.subscribed = true
 	return a, nil
 }
 
@@ -586,12 +685,14 @@ func queryStats(discID ident.ID) (wire.CellStats, error) {
 // four convergence invariants. Any error it returns names the first
 // invariant that failed.
 func (h *harness) quiesce() error {
-	// Heal: remove partitions, restart dead cells, stop relays (their
-	// imports are tagged and stay excluded from fence accounting).
+	// Heal: remove partitions and degraded links, restart dead cells,
+	// stop relays (their imports are tagged and stay excluded from
+	// fence accounting).
 	for _, a := range h.actors {
-		if a.partition && a.tr != nil {
+		if (a.partition || a.lossy) && a.tr != nil {
 			a.tr.SetSendHook(nil)
 			a.partition = false
+			a.lossy = false
 		}
 	}
 	for slot := range h.killed {
@@ -637,6 +738,14 @@ func (h *harness) quiesce() error {
 		return err
 	}
 
+	// Invariant I5: every durable consumer drains its lag to zero —
+	// after heal, a durable subscriber eventually consumed every event
+	// its cell retained, and never consumed any cursor twice within one
+	// log epoch (exactly-once over the retained stream).
+	if err := h.waitDurables(); err != nil {
+		return err
+	}
+
 	// Invariant I2: per-publisher FIFO with no duplicates — every
 	// recorded (subscriber, publisher) sequence is strictly increasing.
 	for _, a := range h.actors {
@@ -674,6 +783,84 @@ func (h *harness) waitMembership() error {
 				return fmt.Errorf("invariant I3: cell %s membership never agreed: %s", c.name, last)
 			}
 			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// waitDurables enforces invariant I5. The management plane is the
+// observer: each cell's stats report one row per durable consumer with
+// its delivery lag against the log tail, so "eventually sees every
+// retained event" is exactly "every row attached with lag zero". The
+// exactly-once half is the recvLoop cursor oracle, checked last so a
+// duplicate delivered during the drain still fails the run.
+func (h *harness) waitDurables() error {
+	any := false
+	for _, a := range h.actors {
+		if a.durable != "" && !a.left {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for slot, c := range h.cells {
+		var want []*actor
+		for _, a := range h.actors {
+			if a.cell == slot && a.durable != "" && !a.left {
+				want = append(want, a)
+			}
+		}
+		if len(want) == 0 {
+			continue
+		}
+		for {
+			last := ""
+			st, err := queryStats(c.discovery())
+			switch {
+			case err != nil:
+				last = err.Error()
+			case !st.Log.Enabled:
+				last = "durable log not enabled"
+			default:
+				for _, a := range want {
+					row := ""
+					for _, d := range st.Durables {
+						if d.Name != a.durable {
+							continue
+						}
+						if d.Attached && d.Lag == 0 {
+							row = "ok"
+						} else {
+							row = fmt.Sprintf("consumer %s attached=%v lag=%d", d.Name, d.Attached, d.Lag)
+						}
+						break
+					}
+					if row == "" {
+						row = fmt.Sprintf("consumer %s has no stats row", a.durable)
+					}
+					if row != "ok" {
+						last = row
+						break
+					}
+				}
+			}
+			if last == "" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("invariant I5: cell %s durable lag never drained: %s", c.name, last)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	for _, a := range h.actors {
+		a.mu.Lock()
+		v := a.durViolation
+		a.mu.Unlock()
+		if v != "" {
+			return fmt.Errorf("invariant I5: actor %d: %s", a.id, v)
 		}
 	}
 	return nil
