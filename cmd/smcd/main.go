@@ -53,6 +53,8 @@ func run() error {
 		durableBytes = flag.Uint64("durable-max-bytes", 0, "durable log retention: max record bytes (0: layer default 16MiB)")
 		durableEvts  = flag.Uint64("durable-max-events", 0, "durable log retention: max retained events (0: unlimited)")
 		durableAge   = flag.Duration("durable-max-age", 0, "durable log retention: max record age (0: unlimited)")
+		syncEvery    = flag.Int("durable-sync-every", 0, "fsync the active segment's tail every N appends (0: sealed segments only; needs -durable-dir)")
+		syncInterval = flag.Duration("durable-sync-interval", 0, "fsync the active segment's tail at least this often (0: off; needs -durable-dir)")
 	)
 	flag.Parse()
 
@@ -83,10 +85,12 @@ func run() error {
 	}
 	if *durable || *durableDir != "" {
 		cfg.Durable = &store.Config{
-			Dir:       *durableDir,
-			MaxBytes:  *durableBytes,
-			MaxEvents: *durableEvts,
-			MaxAge:    *durableAge,
+			Dir:          *durableDir,
+			MaxBytes:     *durableBytes,
+			MaxEvents:    *durableEvts,
+			MaxAge:       *durableAge,
+			SyncEvery:    *syncEvery,
+			SyncInterval: *syncInterval,
 		}
 	}
 	if *verbose {

@@ -157,6 +157,7 @@ func statsQuery(tr transport.Transport, discID ident.ID) error {
 		printChannel("bus-channel ", st.BusChannel)
 		printChannel("disc-channel", st.DiscChannel)
 		printDurable(st)
+		printFederation(st)
 		return nil
 	}
 }
@@ -178,6 +179,16 @@ func printDurable(st wire.CellStats) {
 	for _, d := range st.Durables {
 		fmt.Printf("durable-consumer name=%s attached=%t delivered=%d lag=%d\n",
 			d.Name, d.Attached, d.Delivered, d.Lag)
+	}
+}
+
+// printFederation renders one row per federation link importing into
+// this cell. Nothing is printed for a cell without links.
+func printFederation(st wire.CellStats) {
+	for _, f := range st.Federation {
+		fmt.Printf("federation name=%s remote=%s connected=%t imported=%d skipped=%d dropped=%d reconnects=%d resume-epoch=%016x resume-cursor=%d\n",
+			f.Name, f.RemoteCell, f.Connected, f.Imported, f.Skipped,
+			f.Dropped, f.Reconnects, f.ResumeEpoch, f.ResumeCursor)
 	}
 }
 

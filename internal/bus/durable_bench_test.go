@@ -3,6 +3,7 @@ package bus
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/amuse/smc/internal/store"
 )
@@ -14,12 +15,24 @@ import (
 // cost — the append itself encodes outside the log lock and checksums
 // with hardware CRC-32C).
 //
-// Two shapes: delivery=member/fanout=8 is the representative remote
-// fan-out pipeline a durable ward cell actually runs, and is the gated
-// configuration (log=on within 15% of log=off). delivery=local/
-// fanout=1 is the harshest possible denominator — pure in-process
-// dispatch with nothing to amortise against — and is tracked as
-// informational.
+// Four modes over two shapes. delivery=member/fanout=8 is the
+// representative remote fan-out pipeline a durable ward cell actually
+// runs, and is the gated configuration; delivery=local/fanout=1 is the
+// harshest possible denominator — pure in-process dispatch with
+// nothing to amortise against — and is tracked as informational.
+//
+//   - log=off: no log attached.
+//   - log=on: memory-backed log. Gated at ≥0.85× log=off (PR 9).
+//   - log=disk: disk-backed log, segment-granular sync only (sealed
+//     segments written+fsynced by the flusher). This is disk-bandwidth
+//     bound at hot-path rates — the number measures the host's storage,
+//     not the code — so it is the denominator for the sync-policy gate,
+//     not gated absolutely.
+//   - log=sync: log=disk plus the write-behind tail-sync policy
+//     (SyncInterval fsyncs of the active segment's appended tail).
+//     Because the fsync runs on the flusher goroutine off the publish
+//     path, the policy must be nearly free relative to plain disk
+//     backing: gated at log=sync ≥ 0.85× log=disk on the member shape.
 func BenchmarkDurablePublish(b *testing.B) {
 	for _, shape := range []struct {
 		delivery string
@@ -28,12 +41,20 @@ func BenchmarkDurablePublish(b *testing.B) {
 		{"member", 8},
 		{"local", 1},
 	} {
-		for _, mode := range []string{"off", "on"} {
+		for _, mode := range []string{"off", "on", "disk", "sync"} {
 			name := fmt.Sprintf("delivery=%s/fanout=%d/log=%s", shape.delivery, shape.fan, mode)
 			b.Run(name, func(b *testing.B) {
 				opts := []Option{}
-				if mode == "on" {
-					l, err := store.Open(store.Config{MaxEvents: 65536})
+				cfg := store.Config{MaxEvents: 65536}
+				switch mode {
+				case "disk":
+					cfg.Dir = b.TempDir()
+				case "sync":
+					cfg.Dir = b.TempDir()
+					cfg.SyncInterval = 2 * time.Millisecond
+				}
+				if mode != "off" {
+					l, err := store.Open(cfg)
 					if err != nil {
 						b.Fatal(err)
 					}

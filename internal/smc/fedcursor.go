@@ -1,0 +1,78 @@
+package smc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The federation resume-cursor file: a fixed 25-byte record under the
+// home cell's durable directory remembering where a link's durable
+// consumer left off in the remote cell's log.
+//
+//	magic "SMFC" | version byte | remote epoch u64 | cursor u64 | crc32c
+//
+// Epoch discipline mirrors PR 9's consumer cursors: the cursor is only
+// meaningful within the recorded remote epoch. The bus enforces the
+// check at resume time — a mismatch (remote crash recovery rotated the
+// epoch) replays from the oldest retained record, never silently
+// swallows the gap — so a corrupt or missing file simply degrades to
+// the zero position (full replay), which the home log's dedup window
+// absorbs.
+
+const (
+	fedCursorMagic   = "SMFC"
+	fedCursorVersion = 1
+	fedCursorLen     = 4 + 1 + 8 + 8 + 4
+)
+
+var fedCursorCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// fedCursorPath names the cursor file for one durable consumer,
+// sanitised so any consumer name yields a flat file name.
+func fedCursorPath(dir, consumer string) string {
+	sane := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, consumer)
+	return filepath.Join(dir, sane+".fedcursor")
+}
+
+// writeFedCursor persists a resume position atomically (tmp+rename).
+func writeFedCursor(path string, epoch, cursor uint64) error {
+	var buf [fedCursorLen]byte
+	copy(buf[:4], fedCursorMagic)
+	buf[4] = fedCursorVersion
+	binary.BigEndian.PutUint64(buf[5:13], epoch)
+	binary.BigEndian.PutUint64(buf[13:21], cursor)
+	binary.BigEndian.PutUint32(buf[21:25], crc32.Checksum(buf[:21], fedCursorCRC))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readFedCursor loads a resume position. Any error — missing file, bad
+// magic, torn write, CRC mismatch — returns ok=false: the link resumes
+// from the zero position and replays from the oldest retained record.
+func readFedCursor(path string) (epoch, cursor uint64, ok bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) != fedCursorLen {
+		return 0, 0, false
+	}
+	if string(raw[:4]) != fedCursorMagic || raw[4] != fedCursorVersion {
+		return 0, 0, false
+	}
+	if crc32.Checksum(raw[:21], fedCursorCRC) != binary.BigEndian.Uint32(raw[21:25]) {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(raw[5:13]), binary.BigEndian.Uint64(raw[13:21]), true
+}

@@ -1,0 +1,141 @@
+package smc
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/amuse/smc/internal/event"
+)
+
+// flakyPublisher fails its first fail publishes, then succeeds.
+type flakyPublisher struct {
+	fail  int
+	calls int
+}
+
+func (p *flakyPublisher) Publish(e *event.Event) error {
+	p.calls++
+	if p.calls <= p.fail {
+		return errors.New("busy")
+	}
+	return nil
+}
+
+func testLink(local interface {
+	Publish(e *event.Event) error
+}, retries int) *FederationLink {
+	l := &FederationLink{
+		cfg: FederateConfig{
+			PublishRetries:    retries,
+			PublishRetryDelay: time.Millisecond,
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	l.local = local
+	return l
+}
+
+// TestPublishHomeRetriesThroughBackpressure: transient home-bus
+// pushback pauses and retries instead of dropping.
+func TestPublishHomeRetriesThroughBackpressure(t *testing.T) {
+	p := &flakyPublisher{fail: 3}
+	l := testLink(p, 8)
+	if !l.publishHome(event.NewTyped("x")) {
+		t.Fatal("publish with transient backpressure reported failure")
+	}
+	if p.calls != 4 {
+		t.Fatalf("publish attempts = %d, want 4", p.calls)
+	}
+}
+
+// TestPublishHomeBoundedRetryGivesUp: the retry budget is a bound, not
+// an infinite stall — exhausting it reports failure so the caller can
+// count the drop.
+func TestPublishHomeBoundedRetryGivesUp(t *testing.T) {
+	p := &flakyPublisher{fail: 1 << 30}
+	l := testLink(p, 5)
+	if l.publishHome(event.NewTyped("x")) {
+		t.Fatal("permanently congested bus reported success")
+	}
+	if p.calls != 6 { // initial attempt + 5 retries
+		t.Fatalf("publish attempts = %d, want 6", p.calls)
+	}
+}
+
+// TestPublishHomeStopAborts: a closing link abandons the retry loop
+// immediately.
+func TestPublishHomeStopAborts(t *testing.T) {
+	p := &flakyPublisher{fail: 1 << 30}
+	l := testLink(p, 1<<20)
+	close(l.stop)
+	doneCh := make(chan bool, 1)
+	go func() { doneCh <- l.publishHome(event.NewTyped("x")) }()
+	select {
+	case ok := <-doneCh:
+		if ok {
+			t.Fatal("stopped link reported publish success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("publishHome did not abort on stop")
+	}
+}
+
+func TestFedCursorFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := fedCursorPath(dir, "fed-home-gw/1")
+	if filepath.Dir(path) != dir {
+		t.Fatalf("sanitised path escaped the dir: %s", path)
+	}
+	if _, _, ok := readFedCursor(path); ok {
+		t.Fatal("missing cursor file read as valid")
+	}
+	if err := writeFedCursor(path, 0xfeedface, 4242); err != nil {
+		t.Fatal(err)
+	}
+	epoch, cursor, ok := readFedCursor(path)
+	if !ok || epoch != 0xfeedface || cursor != 4242 {
+		t.Fatalf("round trip: epoch=%x cursor=%d ok=%v", epoch, cursor, ok)
+	}
+	// Overwrite is atomic and wins.
+	if err := writeFedCursor(path, 0xfeedface, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, cursor, _ = readFedCursor(path); cursor != 5000 {
+		t.Fatalf("overwrite lost: cursor=%d", cursor)
+	}
+}
+
+// TestFedCursorFileCorruptionDegradesToZero: any damage — torn write,
+// flipped byte, wrong magic — must read as "no position" (full
+// replay), never as a wrong position.
+func TestFedCursorFileCorruptionDegradesToZero(t *testing.T) {
+	dir := t.TempDir()
+	path := fedCursorPath(dir, "gw")
+	if err := writeFedCursor(path, 7, 99); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := readFedCursor(path); ok {
+			t.Fatalf("corruption at byte %d read as valid", i)
+		}
+	}
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := readFedCursor(path); ok {
+		t.Fatal("torn cursor file read as valid")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/amuse/smc/internal/bootstrap"
@@ -79,10 +80,16 @@ type Cell struct {
 	Policy    *policy.Engine
 	Registry  *bootstrap.Registry
 
-	cellName string
-	busCh    *reliable.Channel
-	discCh   *reliable.Channel
-	started  bool
+	cellName   string
+	busCh      *reliable.Channel
+	discCh     *reliable.Channel
+	started    bool
+	durableDir string
+
+	// Federation links importing into this cell, registered by
+	// Federate for the management plane.
+	fedMu sync.Mutex
+	feds  []*FederationLink
 }
 
 // NewCell wires a cell over two transport endpoints: one for the event
@@ -134,6 +141,9 @@ func NewCell(busTr, discTr transport.Transport, cfg Config) (*Cell, error) {
 
 	discCh := reliable.New(discTr, cfg.Reliable)
 	c := &Cell{cellName: cfg.Cell, busCh: busCh, discCh: discCh}
+	if cfg.Durable != nil {
+		c.durableDir = cfg.Durable.Dir
+	}
 	disc, err := discovery.NewService(discCh, b.Local("discovery"), discovery.ServiceConfig{
 		Cell:           cfg.Cell,
 		Secret:         cfg.Secret,
@@ -236,7 +246,34 @@ func (c *Cell) StatsReport() wire.CellStats {
 		DiscChannel:    channelCounters(ds),
 	}
 	st.Log, st.Durables = c.Bus.LogReport()
+	c.fedMu.Lock()
+	for _, l := range c.feds {
+		st.Federation = append(st.Federation, l.counters())
+	}
+	c.fedMu.Unlock()
 	return st
+}
+
+// DurableDir is the cell's durable-store directory ("" when the cell
+// has no disk-backed log). Federation links keep their resume cursor
+// files here.
+func (c *Cell) DurableDir() string { return c.durableDir }
+
+func (c *Cell) registerFederation(l *FederationLink) {
+	c.fedMu.Lock()
+	c.feds = append(c.feds, l)
+	c.fedMu.Unlock()
+}
+
+func (c *Cell) unregisterFederation(l *FederationLink) {
+	c.fedMu.Lock()
+	for i, x := range c.feds {
+		if x == l {
+			c.feds = append(c.feds[:i], c.feds[i+1:]...)
+			break
+		}
+	}
+	c.fedMu.Unlock()
 }
 
 // channelCounters converts a reliable snapshot to its wire form.
@@ -442,6 +479,17 @@ func (d *Device) Leave() error {
 func (d *Device) Close() error {
 	d.hb.Stop()
 	return d.Client.Close()
+}
+
+// Probe checks that the cell is still reachable and alive. The lease
+// heartbeats are fire-and-forget unreliable sends that learn nothing
+// when the cell dies; Probe instead sends one reliable heartbeat to
+// the discovery service, so the reliable layer retransmits and reports
+// the give-up on a dead, partitioned or restarted-elsewhere peer. On a
+// live cell it doubles as a lease refresh. Blocks up to the channel's
+// give-up horizon.
+func (d *Device) Probe() error {
+	return d.ch.Send(d.Join.Discovery, wire.PktHeartbeat, nil)
 }
 
 // RegisterStandardDevices installs proxy factories for the synthetic

@@ -57,10 +57,13 @@ var ErrClosed = errors.New("store: closed")
 
 // Config tunes the log.
 type Config struct {
-	// Dir, when non-empty, persists sealed segments to disk: each
-	// sealed segment is written and synced by a background flusher, so
-	// after a crash the log recovers to the last synced segment. An
-	// empty Dir keeps the log memory-only.
+	// Dir, when non-empty, persists segments to disk: each sealed
+	// segment is written and synced by a background flusher, and the
+	// SyncEvery/SyncInterval knobs additionally write-behind-sync the
+	// active segment's tail. After a crash the log recovers every
+	// CRC-valid record up to the first torn one — without tail syncs
+	// that means the last sealed segment. An empty Dir keeps the log
+	// memory-only.
 	Dir string
 	// SegmentBytes sizes one segment buffer (default 64 KiB). A record
 	// larger than a whole segment still fits: it gets a dedicated
@@ -79,6 +82,18 @@ type Config struct {
 	// remembered per log (default 4096, 0 keeps the default; negative
 	// disables dedup).
 	DedupWindow int
+	// SyncEvery, when > 0 on a disk-backed log, write-behind-syncs the
+	// active segment's appended tail after every N appends: the flusher
+	// persists the new record bytes to the segment's (partial) file and
+	// fsyncs. Recovery then scans CRC-valid records up to the first
+	// torn one, so a crash loses at most the records since the last
+	// tail sync instead of the whole unsealed segment.
+	SyncEvery int
+	// SyncInterval, when > 0 on a disk-backed log, bounds the crash-loss
+	// window in time: a ticker syncs the active segment's tail at least
+	// this often while new records are pending. Combines with SyncEvery;
+	// either alone is enough to enable partial-segment persistence.
+	SyncInterval time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -172,6 +187,19 @@ type Log struct {
 
 	// flush is the disk mirror; nil for memory-only logs.
 	flush *flusher
+
+	// Write-behind tail-sync state (guarded by mu). sinceSync counts
+	// appends since the last SyncEvery-triggered sync; lastSyncSeg/
+	// lastSyncLen suppress redundant ticker syncs when nothing new was
+	// appended.
+	sinceSync   int
+	lastSyncSeg *Segment
+	lastSyncLen int
+
+	// syncStop/syncDone bracket the SyncInterval ticker goroutine
+	// (nil when it never started).
+	syncStop chan struct{}
+	syncDone chan struct{}
 }
 
 // Open creates (or, with Dir set, recovers) a log.
@@ -191,6 +219,11 @@ func Open(cfg Config) (*Log, error) {
 			return nil, err
 		}
 		l.flush = newFlusher(cfg.Dir)
+		if cfg.SyncInterval > 0 {
+			l.syncStop = make(chan struct{})
+			l.syncDone = make(chan struct{})
+			go l.syncLoop()
+		}
 	}
 	return l, nil
 }
@@ -271,6 +304,12 @@ func (l *Log) Append(e *event.Event, dedupID int64, hasDedup bool) (cursor uint6
 	l.events++
 	l.bytes += uint64(len(seg.buf) - off)
 	l.retainLocked(now)
+	if l.flush != nil && l.cfg.SyncEvery > 0 {
+		l.sinceSync++
+		if l.sinceSync >= l.cfg.SyncEvery && l.trySyncLocked(seg) {
+			l.sinceSync = 0
+		}
+	}
 	for ch := range l.waiters {
 		select {
 		case ch <- struct{}{}:
@@ -311,9 +350,58 @@ func (l *Log) activeLocked(need int) *Segment {
 // mirror.
 func (l *Log) sealLocked(seg *Segment) {
 	seg.sealed = true
+	if seg == l.lastSyncSeg {
+		l.lastSyncSeg = nil
+	}
 	if l.flush != nil && len(seg.recs) > 0 {
 		seg.retain() // flusher's reference
 		l.flush.enqueue(flushOp{seg: seg, epoch: l.epoch})
+	}
+}
+
+// trySyncLocked enqueues (non-blocking) a write-behind sync of the
+// active segment's current tail. The record bytes are captured as a
+// slice under mu, so the flusher never touches seg.buf concurrently
+// with appends. Returns false when the flusher queue is full — the
+// caller keeps its trigger armed and the next append retries.
+func (l *Log) trySyncLocked(seg *Segment) bool {
+	if seg.sealed || len(seg.recs) == 0 {
+		return false
+	}
+	if seg == l.lastSyncSeg && len(seg.buf) == l.lastSyncLen {
+		return true // nothing new since the last enqueued sync
+	}
+	seg.retain()
+	op := flushOp{seg: seg, epoch: l.epoch, data: seg.buf[:len(seg.buf):len(seg.buf)], sync: true}
+	if !l.flush.tryEnqueue(op) {
+		seg.release()
+		return false
+	}
+	l.lastSyncSeg, l.lastSyncLen = seg, len(seg.buf)
+	return true
+}
+
+// syncLoop is the SyncInterval ticker: while records are pending it
+// keeps the crash-loss window under one interval by syncing the active
+// segment's tail.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.syncStop:
+			return
+		case <-t.C:
+		}
+		l.mu.Lock()
+		if !l.closed && l.flush != nil && len(l.segs) > 0 {
+			seg := l.segs[len(l.segs)-1]
+			if l.trySyncLocked(seg) {
+				l.sinceSync = 0
+			}
+		}
+		l.mu.Unlock()
 	}
 }
 
@@ -492,6 +580,14 @@ func (l *Log) Close() error {
 	l.flush = nil
 	l.mu.Unlock()
 
+	// Stop the sync ticker before closing the flusher: the loop
+	// enqueues under mu and has observed closed by now, so no sync op
+	// can race the channel close below.
+	if l.syncStop != nil {
+		close(l.syncStop)
+		<-l.syncDone
+	}
+
 	var err error
 	if flush != nil {
 		err = flush.close() // drains pending writes first
@@ -528,6 +624,11 @@ type Segment struct {
 	first  time.Time // append time of the first record
 	last   time.Time // append time of the newest record
 	sealed bool
+
+	// diskSynced is the number of record bytes persisted to this
+	// segment's partial tail file. Flusher-goroutine-only; the reset in
+	// acquireSegment is ordered by the pool handoff.
+	diskSynced int
 
 	log  *Log
 	mu   sync.Mutex
@@ -579,6 +680,7 @@ func (l *Log) acquireSegment(size int) *Segment {
 	seg.log = l
 	seg.base = 0
 	seg.sealed = false
+	seg.diskSynced = 0
 	seg.first, seg.last = time.Time{}, time.Time{}
 	seg.refs = 1
 	return seg
@@ -618,27 +720,43 @@ func segmentPath(dir string, base uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%020d.seg", base))
 }
 
-// flushOp is one unit of flusher work: write a sealed segment, or
-// remove an evicted one's file.
+// flushOp is one unit of flusher work: write a sealed segment, sync
+// the active segment's tail (data holds the record bytes captured
+// under the log lock), or remove an evicted one's file.
 type flushOp struct {
 	seg    *Segment
 	epoch  uint64
+	data   []byte // sync: immutable prefix of the segment's record bytes
+	sync   bool
 	remove string
 }
 
 // flusher serialises disk writes off the append path: sealed segments
-// are written and fsynced in order, evictions remove files. Losing the
-// unflushed tail on SIGKILL is the contract — recovery returns the
-// last synced segment.
+// are written and fsynced in order, active-segment tails are appended
+// to a partial file under the write-behind sync policy, evictions
+// remove files. Without tail syncs, losing the unflushed active
+// segment on SIGKILL is the contract — recovery returns the last
+// synced state either way.
 type flusher struct {
 	dir  string
 	ops  chan flushOp
 	done chan struct{}
 	err  error
+
+	// partial maps an active segment to its open tail file. An entry
+	// retires when the sealed write replaces the partial file
+	// (tmp+rename) — FIFO op order guarantees the seal arrives after
+	// every tail sync for that segment.
+	partial map[*Segment]*os.File
 }
 
 func newFlusher(dir string) *flusher {
-	f := &flusher{dir: dir, ops: make(chan flushOp, 16), done: make(chan struct{})}
+	f := &flusher{
+		dir:     dir,
+		ops:     make(chan flushOp, 16),
+		done:    make(chan struct{}),
+		partial: make(map[*Segment]*os.File),
+	}
 	go f.loop()
 	return f
 }
@@ -653,18 +771,82 @@ func (f *flusher) enqueue(op flushOp) {
 	}
 }
 
+// tryEnqueue is the non-blocking variant used by tail syncs, which are
+// enqueued under the log lock: a full queue skips the sync (the next
+// trigger retries) rather than stalling appends.
+func (f *flusher) tryEnqueue(op flushOp) bool {
+	select {
+	case f.ops <- op:
+		return true
+	default:
+		return false
+	}
+}
+
 func (f *flusher) loop() {
 	for op := range f.ops {
 		if op.remove != "" {
 			_ = os.Remove(op.remove)
 			continue
 		}
+		if op.sync {
+			if err := f.syncTail(op.seg, op.epoch, op.data); err != nil && f.err == nil {
+				f.err = err
+			}
+			op.seg.release()
+			continue
+		}
+		if file, ok := f.partial[op.seg]; ok {
+			_ = file.Close()
+			delete(f.partial, op.seg)
+		}
 		if err := writeSegment(f.dir, op.seg, op.epoch); err != nil && f.err == nil {
 			f.err = err
 		}
 		op.seg.release()
 	}
+	for _, file := range f.partial {
+		_ = file.Close()
+	}
 	close(f.done)
+}
+
+// syncTail persists the active segment's appended tail: on first sync
+// the partial file is created with the segment header, then each sync
+// appends only the record bytes not yet on disk and fsyncs. data is a
+// stable snapshot (records are immutable once appended), so reading it
+// off the append path is safe.
+func (f *flusher) syncTail(seg *Segment, epoch uint64, data []byte) error {
+	file, ok := f.partial[seg]
+	if !ok {
+		var hdr [segHeaderLen]byte
+		copy(hdr[:4], segMagic)
+		hdr[4] = segVersion
+		binary.BigEndian.PutUint64(hdr[5:13], epoch)
+		binary.BigEndian.PutUint64(hdr[13:21], seg.base)
+		var err error
+		file, err = os.OpenFile(segmentPath(f.dir, seg.base), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err = file.WriteAt(hdr[:], 0); err != nil {
+			_ = file.Close()
+			return err
+		}
+		f.partial[seg] = file
+		seg.diskSynced = 0
+	}
+	if len(data) <= seg.diskSynced {
+		return nil // a later sync already covered this prefix
+	}
+	if _, err := file.WriteAt(data[seg.diskSynced:], int64(segHeaderLen+seg.diskSynced)); err != nil {
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		return err
+	}
+	seg.diskSynced = len(data)
+	return nil
 }
 
 func (f *flusher) close() error {

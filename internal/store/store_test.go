@@ -606,3 +606,239 @@ func TestMemoryLogEpochsDiffer(t *testing.T) {
 		t.Fatal("zero epoch is reserved for the client sentinel")
 	}
 }
+
+// waitTailRecords polls until the active segment's partial file at
+// path holds want CRC-valid records (the tail flusher is async).
+func waitTailRecords(t *testing.T, path string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if seg, _, err := readSegment(path); err == nil && len(seg.recs) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			seg, _, err := readSegment(path)
+			n := -1
+			if err == nil {
+				n = len(seg.recs)
+			}
+			t.Fatalf("tail sync never reached %d records (have %d, err %v)", want, n, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSyncEveryPersistsActiveTail: with SyncEvery, a crash loses at
+// most the appends since the last tail sync — not the whole unsealed
+// active segment.
+func TestSyncEveryPersistsActiveTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		l.Append(mkEvent(i, "tail"), 0, false)
+	}
+	epoch := l.Epoch()
+	if got := l.Stats().Segments; got != 1 {
+		t.Fatalf("test needs everything in the unsealed active segment, have %d", got)
+	}
+	waitTailRecords(t, segmentPath(dir, 1), n)
+	// No Close: abandoned as a SIGKILL would leave it.
+
+	r, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Epoch() == epoch || r.Epoch() == 0 {
+		t.Fatalf("crash recovery must rotate to a fresh non-zero epoch (got %x)", r.Epoch())
+	}
+	got := drainAll(t, r)
+	if len(got) != n {
+		t.Fatalf("recovered %d records from the synced tail, want %d", len(got), n)
+	}
+	for i, c := range got {
+		if c != uint64(i+1) {
+			t.Fatalf("recovered cursor[%d]=%d: gap", i, c)
+		}
+	}
+	_ = l
+}
+
+// TestSyncIntervalPersistsActiveTail: the ticker alone (no SyncEvery)
+// also bounds the loss window.
+func TestSyncIntervalPersistsActiveTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16, SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for i := uint64(1); i <= n; i++ {
+		l.Append(mkEvent(i, "tick"), 0, false)
+	}
+	waitTailRecords(t, segmentPath(dir, 1), n)
+
+	r, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drainAll(t, r); len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+	_ = l
+}
+
+// TestSyncTailTornWriteRecovery: a torn final record in the partial
+// tail file truncates cleanly to the preceding CRC-valid prefix.
+func TestSyncTailTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		l.Append(mkEvent(i, "torn"), 0, false)
+	}
+	path := segmentPath(dir, 1)
+	waitTailRecords(t, path, n)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last record's CRC: the write tore mid-record.
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := drainAll(t, r)
+	if len(got) != n-1 {
+		t.Fatalf("torn-tail recovery kept %d records, want %d", len(got), n-1)
+	}
+	for i, c := range got {
+		if c != uint64(i+1) {
+			t.Fatalf("torn recovery not a prefix: cursor[%d]=%d", i, c)
+		}
+	}
+	_ = l
+}
+
+// TestSyncTailCorruptRecordRecovery: a CRC-corrupt record mid-tail
+// truncates recovery there — CRC-valid records up to the first bad
+// one, never garbage past it.
+func TestSyncTailCorruptRecordRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		l.Append(mkEvent(i, "crc"), 0, false)
+	}
+	path := segmentPath(dir, 1)
+	waitTailRecords(t, path, n)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := segHeaderLen + (len(raw)-segHeaderLen)/2
+	raw[pos] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(Config{Dir: dir, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := drainAll(t, r)
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("corrupt-tail recovery kept %d records, want a proper prefix", len(got))
+	}
+	for i, c := range got {
+		if c != uint64(i+1) {
+			t.Fatalf("corrupt recovery not a prefix: cursor[%d]=%d", i, c)
+		}
+	}
+	_ = l
+}
+
+// TestSyncTailSealReplacesPartialFile: sealing the active segment
+// atomically replaces its partial tail file with the complete sealed
+// write; a graceful close then recovers everything under the same
+// epoch.
+func TestSyncTailSealReplacesPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, SegmentBytes: 256, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40 // spans several 256-byte segments
+	for i := uint64(1); i <= n; i++ {
+		l.Append(mkEvent(i, "seal"), 0, false)
+	}
+	epoch := l.Epoch()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(Config{Dir: dir, SegmentBytes: 256, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Epoch() != epoch {
+		t.Fatalf("clean shutdown must keep the epoch: %x != %x", r.Epoch(), epoch)
+	}
+	got := drainAll(t, r)
+	if len(got) != n {
+		t.Fatalf("recovered %d records after graceful close, want %d", len(got), n)
+	}
+}
+
+// TestSyncTailConcurrentAppendChurn races the sync ticker against
+// concurrent appenders and segment rollover (run with -race).
+func TestSyncTailConcurrentAppendChurn(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{
+		Dir: dir, SegmentBytes: 512, MaxEvents: 128,
+		SyncEvery: 4, SyncInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := uint64(0); i < 200; i++ {
+				l.Append(mkEvent(i, "churn"), 0, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Config{Dir: dir, SegmentBytes: 512, MaxEvents: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drainAll(t, r); len(got) == 0 {
+		t.Fatal("nothing recovered after churn")
+	}
+}

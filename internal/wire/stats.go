@@ -68,6 +68,31 @@ type DurableCounters struct {
 	Lag uint64
 }
 
+// FederationCounters is one federation link's management-plane row.
+type FederationCounters struct {
+	// Name identifies the link (the gateway device name in the remote
+	// cell).
+	Name string
+	// RemoteCell is the cell being imported from.
+	RemoteCell string
+	// Connected reports whether the link currently holds a live
+	// remote membership (false while the supervisor is reconnecting).
+	Connected bool
+	// Imported / Skipped / Dropped / Reconnects mirror the link's
+	// counters: events republished locally, loop-prevention skips,
+	// events abandoned after the bounded home-bus retry, and completed
+	// reconnect cycles.
+	Imported   uint64
+	Skipped    uint64
+	Dropped    uint64
+	Reconnects uint64
+	// ResumeEpoch / ResumeCursor are the link's last recorded resume
+	// position in the remote cell's durable cursor space (zero when
+	// the remote cell has no durable log).
+	ResumeEpoch  uint64
+	ResumeCursor uint64
+}
+
 // CellStats is the full management-plane snapshot of one cell.
 type CellStats struct {
 	// Cell is the cell's name.
@@ -88,6 +113,9 @@ type CellStats struct {
 	// Durables its per-consumer lag rows.
 	Log      LogCounters
 	Durables []DurableCounters
+	// Federation holds one row per federation link importing into
+	// this cell.
+	Federation []FederationCounters
 }
 
 func appendChannelCounters(dst []byte, c ChannelCounters) []byte {
@@ -155,6 +183,21 @@ func AppendCellStats(dst []byte, s CellStats) []byte {
 		dst = appendUvarint(dst, attached)
 		dst = appendUvarint(dst, d.Delivered)
 		dst = appendUvarint(dst, d.Lag)
+	}
+	dst = appendUvarint(dst, uint64(len(s.Federation)))
+	for _, f := range s.Federation {
+		dst = appendString(dst, f.Name)
+		dst = appendString(dst, f.RemoteCell)
+		connected := uint64(0)
+		if f.Connected {
+			connected = 1
+		}
+		for _, v := range [...]uint64{
+			connected, f.Imported, f.Skipped, f.Dropped,
+			f.Reconnects, f.ResumeEpoch, f.ResumeCursor,
+		} {
+			dst = appendUvarint(dst, v)
+		}
 	}
 	return dst
 }
@@ -227,6 +270,40 @@ func DecodeCellStats(buf []byte) (CellStats, error) {
 			Delivered: delivered, Lag: lag,
 		})
 	}
+	nFed, err := r.uvarint()
+	if err != nil {
+		return CellStats{}, err
+	}
+	if nFed > uint64(r.remaining()) {
+		return CellStats{}, fmt.Errorf("%w: federation count %d", ErrBadEncoding, nFed)
+	}
+	var federation []FederationCounters
+	if nFed > 0 {
+		federation = make([]FederationCounters, 0, nFed)
+	}
+	for i := uint64(0); i < nFed; i++ {
+		name, err := r.string()
+		if err != nil {
+			return CellStats{}, err
+		}
+		remote, err := r.string()
+		if err != nil {
+			return CellStats{}, err
+		}
+		var vals [7]uint64
+		for j := range vals {
+			v, err := r.uvarint()
+			if err != nil {
+				return CellStats{}, err
+			}
+			vals[j] = v
+		}
+		federation = append(federation, FederationCounters{
+			Name: name, RemoteCell: remote, Connected: vals[0] != 0,
+			Imported: vals[1], Skipped: vals[2], Dropped: vals[3],
+			Reconnects: vals[4], ResumeEpoch: vals[5], ResumeCursor: vals[6],
+		})
+	}
 	if r.remaining() != 0 {
 		return CellStats{}, fmt.Errorf("%w: cell-stats trailing bytes", ErrBadEncoding)
 	}
@@ -248,6 +325,7 @@ func DecodeCellStats(buf []byte) (CellStats, error) {
 			Appended: logv[7], Evicted: logv[8], DupsDropped: logv[9],
 			SegmentsAcquired: logv[10], SegmentsRecycled: logv[11],
 		},
-		Durables: durables,
+		Durables:   durables,
+		Federation: federation,
 	}, nil
 }

@@ -36,6 +36,14 @@ func TestCellStatsRoundTrip(t *testing.T) {
 			{Name: "ward-nurse", Attached: true, Delivered: 890, Lag: 10},
 			{Name: "archive", Attached: false, Delivered: 450, Lag: 450},
 		},
+		Federation: []FederationCounters{
+			{
+				Name: "ward-gateway", RemoteCell: "icu", Connected: true,
+				Imported: 120, Skipped: 4, Dropped: 1, Reconnects: 3,
+				ResumeEpoch: 0xdeadbeef, ResumeCursor: 118,
+			},
+			{Name: "cold-link", RemoteCell: "lab"},
+		},
 	}
 	buf := AppendCellStats(nil, in)
 	out, err := DecodeCellStats(buf)

@@ -112,6 +112,8 @@ type (
 	FederateConfig = smccore.FederateConfig
 	// FederationLink imports events from a peer cell.
 	FederationLink = smccore.FederationLink
+	// FederationStats is a point-in-time snapshot of one link.
+	FederationStats = smccore.FederationStats
 )
 
 // Cell and device entry points.

@@ -30,6 +30,9 @@ const (
 	actDegrade
 	actRoam
 	actReturn
+	actLinkKill
+	actLinkPartition
+	actLinkHeal
 	numActions
 )
 
@@ -37,23 +40,27 @@ var actionNames = [numActions]string{
 	"publish", "join", "leave", "subscribe", "unsubscribe",
 	"partition", "heal", "kill", "restart", "federate", "policy-load",
 	"degrade", "roam", "return",
+	"link-kill", "link-partition", "link-heal",
 }
 
 var actionWeights = [numActions]int{
-	actPublish:     40,
-	actJoin:        6,
-	actLeave:       4,
-	actSubscribe:   8,
-	actUnsubscribe: 4,
-	actPartition:   6,
-	actHeal:        6,
-	actKill:        3,
-	actRestart:     6,
-	actFederate:    2,
-	actPolicyLoad:  2,
-	actDegrade:     4,
-	actRoam:        4,
-	actReturn:      6,
+	actPublish:       40,
+	actJoin:          6,
+	actLeave:         4,
+	actSubscribe:     8,
+	actUnsubscribe:   4,
+	actPartition:     6,
+	actHeal:          6,
+	actKill:          3,
+	actRestart:       6,
+	actFederate:      2,
+	actPolicyLoad:    2,
+	actDegrade:       4,
+	actRoam:          4,
+	actReturn:        6,
+	actLinkKill:      3,
+	actLinkPartition: 3,
+	actLinkHeal:      4,
 }
 
 // maxActors bounds roster growth so long runs stay loopback-friendly.
@@ -225,7 +232,9 @@ func (h *harness) apply(kind actionKind) error {
 		return nil
 
 	case actFederate:
-		if len(h.cells) < 2 || len(h.relays) >= 1 {
+		// With -chaos.fed the supervised relays own federation; the
+		// fire-and-forget relay would only muddy the I6 oracle.
+		if *chaosFed || len(h.cells) < 2 || len(h.relays) >= 1 {
 			return nil
 		}
 		src := h.rng.Intn(len(h.cells))
@@ -310,6 +319,37 @@ func (h *harness) apply(kind actionKind) error {
 		} else {
 			h.logf("durable actor %d (%s) returned", a.id, a.durable)
 		}
+		return nil
+
+	case actLinkKill:
+		// The federation gateway crashes: both memberships close, the
+		// supervisor rejoins and resumes from the cursor floor.
+		if len(h.fedRelays) == 0 {
+			return nil
+		}
+		r := h.fedRelays[h.rng.Intn(len(h.fedRelays))]
+		r.kill()
+		h.logf("fed relay %d->%d killed", r.src, r.dst)
+		return nil
+
+	case actLinkPartition:
+		// The link loses its remote cell without being told; only the
+		// liveness probe can turn this into a reconnect.
+		if len(h.fedRelays) == 0 {
+			return nil
+		}
+		r := h.fedRelays[h.rng.Intn(len(h.fedRelays))]
+		r.partition()
+		h.logf("fed relay %d->%d partitioned", r.src, r.dst)
+		return nil
+
+	case actLinkHeal:
+		if len(h.fedRelays) == 0 {
+			return nil
+		}
+		r := h.fedRelays[h.rng.Intn(len(h.fedRelays))]
+		r.heal()
+		h.logf("fed relay %d->%d healed", r.src, r.dst)
 		return nil
 	}
 	return nil

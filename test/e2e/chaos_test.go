@@ -20,6 +20,7 @@ var (
 	chaosRecord  = flag.Bool("chaos.record", true, "append failing seeds to regression_seeds.json")
 	chaosBatch   = flag.Int("chaos.batch", 0, "run cells with -batch N event coalescing (0: off)")
 	chaosDurable = flag.Bool("chaos.durable", false, "run cells with a disk-backed durable log and one roaming durable subscriber per cell")
+	chaosFed     = flag.Bool("chaos.fed", false, "run supervised federation relays between cells (durable cells, write-behind tail sync, link kill/partition/heal actions, I6 fence invariant)")
 )
 
 // runChaos executes one full chaos run and returns the first invariant

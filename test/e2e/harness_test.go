@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"github.com/amuse/smc/internal/ident"
 	"github.com/amuse/smc/internal/reliable"
 	smcpkg "github.com/amuse/smc/internal/smc"
+	"github.com/amuse/smc/internal/store"
 	"github.com/amuse/smc/internal/transport"
 	"github.com/amuse/smc/internal/wire"
 )
@@ -100,11 +102,18 @@ func (h *harness) startCell(c *cellProc, policyFile string) error {
 	if *chaosBatch > 0 {
 		args = append(args, "-batch", strconv.Itoa(*chaosBatch))
 	}
-	if *chaosDurable {
+	if *chaosDurable || *chaosFed {
 		// The per-slot directory survives kill/restart, so a restarted
 		// daemon recovers its log from disk (crash recovery rotates the
 		// epoch; a graceful stop keeps it).
 		args = append(args, "-durable-dir", filepath.Join(h.tmpDir, "durlog-"+c.name))
+	}
+	if *chaosFed {
+		// Exercise the write-behind tail-sync policy under SIGKILL: the
+		// active segment's appended tail is fsynced on both an append
+		// cadence and a timer, so a crashed cell recovers mid-segment
+		// events instead of only sealed segments.
+		args = append(args, "-durable-sync-every", "8", "-durable-sync-interval", "25ms")
 	}
 	if policyFile != "" {
 		args = append(args, "-policies", policyFile)
@@ -305,6 +314,7 @@ type actor struct {
 	mu           sync.Mutex
 	recv         map[int][]int64 // pub -> n sequence, in arrival order
 	fence        map[int]bool    // pub -> fence observed
+	fedFence     map[int]int     // pub -> federated fence arrivals (I6)
 	durEpoch     uint64          // log epoch of the recorded stream
 	durCursor    uint64          // highest cursor consumed this epoch
 	durViolation string          // first exactly-once violation observed
@@ -398,6 +408,7 @@ func (h *harness) recvLoop(a *actor, dev *smcpkg.Device) {
 					a.durCursor = e.Cursor
 					a.recv = map[int][]int64{}
 					a.fence = map[int]bool{}
+					a.fedFence = map[int]int{}
 				case e.Cursor <= a.durCursor:
 					if a.durViolation == "" {
 						a.durViolation = fmt.Sprintf(
@@ -408,9 +419,21 @@ func (h *harness) recvLoop(a *actor, dev *smcpkg.Device) {
 					a.durCursor = e.Cursor
 				}
 			}
-			a.recv[int(p64)] = append(a.recv[int(p64)], n)
-			if fence && !federated {
-				a.fence[int(p64)] = true
+			if federated && *chaosFed {
+				// Federated imports live outside the per-cell FIFO oracle:
+				// replay across relay reconnects is at-least-once until
+				// the destination log's dedup collapses it, so their n
+				// sequences are not FIFO evidence. The I6 oracle counts
+				// their fences instead — exactly once each, or the run
+				// fails.
+				if fence {
+					a.fedFence[int(p64)]++
+				}
+			} else {
+				a.recv[int(p64)] = append(a.recv[int(p64)], n)
+				if fence && !federated {
+					a.fence[int(p64)] = true
+				}
 			}
 			a.mu.Unlock()
 		}
@@ -423,7 +446,15 @@ func (h *harness) recvLoop(a *actor, dev *smcpkg.Device) {
 func (a *actor) chaosEvent() *event.Event {
 	n := a.nextN
 	a.nextN++
-	return event.NewTyped("chaos").SetInt("pub", int64(a.id)).SetInt("n", n)
+	e := event.NewTyped("chaos").SetInt("pub", int64(a.id)).SetInt("n", n)
+	if *chaosFed {
+		// Deterministic idempotent identity: actor IDs are globally
+		// unique and n is monotone per actor, so pub<<32|n never
+		// collides, and the durable logs collapse at-least-once
+		// federation replay to exactly-once.
+		e.SetInt(store.AttrDedup, int64(a.id)<<32|n)
+	}
+	return e
 }
 
 // dropAll is the client-side partition: the actor's outbound datagrams
@@ -524,6 +555,286 @@ func (h *harness) stopRelays() {
 }
 
 // ---------------------------------------------------------------------
+// Supervised federation relays (-chaos.fed)
+// ---------------------------------------------------------------------
+
+// fedRelay is the supervised federation gateway of -chaos.fed: the e2e
+// counterpart of smc.FederationLink against out-of-process cells. It
+// joins the src cell as a durable consumer under a stable consumer
+// name, remembers its resume position across device incarnations,
+// republishes matching events into dst tagged and dedup-stamped, and
+// probes both memberships for liveness so a killed, partitioned or
+// restarted cell (or a killed link) converges to reconnect plus
+// resume-from-cursor replay.
+type fedRelay struct {
+	h        *harness
+	src, dst int
+	consumer string
+
+	posMu  sync.Mutex
+	epoch  uint64 // src log epoch of the resume position
+	cursor uint64 // last src cursor consumed
+
+	devMu  sync.Mutex
+	devSrc *smcpkg.Device
+	devDst *smcpkg.Device
+	trSrc  *transport.UDPTransport
+
+	connected  atomic.Bool
+	reconnects atomic.Uint64
+	imported   atomic.Uint64
+	dropped    atomic.Uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func (h *harness) startFedRelay(src, dst int) *fedRelay {
+	r := &fedRelay{
+		h: h, src: src, dst: dst,
+		consumer: fmt.Sprintf("fed-relay-%d-%d", src, dst),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	h.fedRelays = append(h.fedRelays, r)
+	go r.run()
+	return r
+}
+
+// joinSide joins one cell, retrying forever (the cell may be down for
+// a while) until it succeeds or the relay stops. The src side binds the
+// durable consumer and resumes from the relay's position; an epoch
+// mismatch after a src crash means replay-from-oldest, which the dedup
+// stamps collapse downstream.
+func (r *fedRelay) joinSide(slot int, name string, durable bool) (*smcpkg.Device, *transport.UDPTransport, bool) {
+	for {
+		c := r.h.cells[slot]
+		tr, err := transport.NewUDPTransport()
+		if err == nil {
+			cfg := smcpkg.DeviceConfig{
+				Type: "federation-gateway", Name: name,
+				Secret: []byte(c.secret), Cell: c.name, Discovery: c.discovery(),
+				JoinTimeout: 2 * time.Second, Reliable: actorReliableCfg,
+			}
+			if durable {
+				r.posMu.Lock()
+				cfg.Durable = r.consumer
+				cfg.DurablePosition = client.DurablePosition{Epoch: r.epoch, Cursor: r.cursor}
+				r.posMu.Unlock()
+			}
+			ctx, cancel := context.WithTimeout(r.ctx, 15*time.Second)
+			dev, jerr := smcpkg.JoinCellWithRetry(ctx, tr, cfg,
+				smcpkg.RetryConfig{Attempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 500 * time.Millisecond})
+			cancel()
+			if jerr == nil {
+				return dev, tr, true
+			}
+		}
+		select {
+		case <-r.stop:
+			return nil, nil, false
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// run is the supervisor: join both sides, pump until either membership
+// dies, tear the incarnation down, reconnect. Only stopFedRelays ends
+// the loop.
+func (r *fedRelay) run() {
+	defer close(r.done)
+	first := true
+	for {
+		devSrc, trSrc, ok := r.joinSide(r.src, r.consumer+"-out", true)
+		if !ok {
+			return
+		}
+		devDst, _, ok := r.joinSide(r.dst, r.consumer+"-in", false)
+		if !ok {
+			_ = devSrc.Close()
+			return
+		}
+		if err := devSrc.Client.Subscribe(event.NewFilter().WhereType("chaos")); err != nil {
+			_ = devSrc.Close()
+			_ = devDst.Close()
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		r.devMu.Lock()
+		r.devSrc, r.devDst, r.trSrc = devSrc, devDst, trSrc
+		r.devMu.Unlock()
+		if !first {
+			r.reconnects.Add(1)
+			r.h.logf("fed relay %d->%d reconnected (epoch=%x cursor=%d)", r.src, r.dst, r.epoch, r.cursor)
+		}
+		first = false
+		r.connected.Store(true)
+		r.pump(devSrc, devDst)
+		r.connected.Store(false)
+		r.devMu.Lock()
+		r.devSrc, r.devDst, r.trSrc = nil, nil, nil
+		r.devMu.Unlock()
+		_ = devSrc.Close()
+		_ = devDst.Close()
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+	}
+}
+
+// pump imports until either side dies. Each side gets a liveness probe
+// (Device.Probe is a reliable heartbeat: it gives up on a dead peer),
+// because a killed or partitioned cell never closes Events() on its
+// own.
+func (r *fedRelay) pump(devSrc, devDst *smcpkg.Device) {
+	dead := make(chan struct{})
+	var deadOnce sync.Once
+	probeStop := make(chan struct{})
+	defer close(probeStop)
+	probe := func(dev *smcpkg.Device) {
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		misses := 0
+		for {
+			select {
+			case <-probeStop:
+				return
+			case <-t.C:
+			}
+			if dev.Probe() != nil {
+				if misses++; misses >= 2 {
+					deadOnce.Do(func() { close(dead) })
+					return
+				}
+			} else {
+				misses = 0
+			}
+		}
+	}
+	go probe(devSrc)
+	go probe(devDst)
+	events := devSrc.Client.Events()
+	for {
+		select {
+		case e, ok := <-events:
+			if !ok {
+				return // src client closed (link kill)
+			}
+			r.importEvent(devSrc, devDst, e, dead)
+		case <-dead:
+			return
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// importEvent republishes one src event into dst under the
+// FederationLink contract: advance the resume floor for every durable
+// delivery (skips included), tag the import against loops, stamp the
+// chaos stream's deterministic dedup identity, and publish with
+// bounded blocking-with-retry rather than silent drop.
+func (r *fedRelay) importEvent(devSrc, devDst *smcpkg.Device, e *event.Event, dead <-chan struct{}) {
+	if e.Cursor != 0 {
+		r.posMu.Lock()
+		r.epoch = devSrc.Client.DurablePosition().Epoch
+		r.cursor = e.Cursor
+		r.posMu.Unlock()
+	}
+	if e.Has(smcpkg.AttrFederatedFrom) {
+		e.Release()
+		return
+	}
+	imported := e.Clone()
+	imported.SetStr(smcpkg.AttrFederatedFrom, r.h.cells[r.src].name)
+	if d, ok := chaosDedupID(e); ok {
+		imported.SetInt(store.AttrDedup, d)
+	}
+	e.Release()
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := devDst.Client.Publish(imported); err == nil {
+			r.imported.Add(1)
+			return
+		}
+		select {
+		case <-r.stop:
+			attempt = 5
+		case <-dead:
+			attempt = 5
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	imported.Release()
+	r.dropped.Add(1)
+}
+
+// chaosDedupID recovers the deterministic idempotent identity stamped
+// by chaosEvent.
+func chaosDedupID(e *event.Event) (int64, bool) {
+	v, ok := e.Get(store.AttrDedup)
+	if !ok {
+		return 0, false
+	}
+	d, isInt := v.Int()
+	return d, isInt
+}
+
+// kill closes the relay's current devices — the gateway crash. The
+// supervisor notices (Events() closes) and reconnects from the resume
+// floor.
+func (r *fedRelay) kill() {
+	r.devMu.Lock()
+	devSrc, devDst := r.devSrc, r.devDst
+	r.devMu.Unlock()
+	if devSrc != nil {
+		_ = devSrc.Close()
+	}
+	if devDst != nil {
+		_ = devDst.Close()
+	}
+}
+
+// partition drops the relay's src-side datagrams: the link loses its
+// remote cell without being told. The liveness probe gives up and the
+// supervisor reconnects on a fresh (unhooked) socket, so the partition
+// heals through actLinkHeal or through the reconnect itself.
+func (r *fedRelay) partition() {
+	r.devMu.Lock()
+	if r.trSrc != nil {
+		r.trSrc.SetSendHook(dropAll)
+	}
+	r.devMu.Unlock()
+}
+
+func (r *fedRelay) heal() {
+	r.devMu.Lock()
+	if r.trSrc != nil {
+		r.trSrc.SetSendHook(nil)
+	}
+	r.devMu.Unlock()
+}
+
+// stopFedRelays ends supervision and tears the relay memberships down.
+func (h *harness) stopFedRelays() {
+	for _, r := range h.fedRelays {
+		close(r.stop)
+		r.cancel()
+		r.kill()
+		<-r.done
+	}
+	h.fedRelays = nil
+}
+
+// ---------------------------------------------------------------------
 // Harness
 // ---------------------------------------------------------------------
 
@@ -533,9 +844,10 @@ type harness struct {
 	binDir string
 	tmpDir string
 
-	cells  []*cellProc
-	actors []*actor
-	relays []*relay
+	cells     []*cellProc
+	actors    []*actor
+	relays    []*relay
+	fedRelays []*fedRelay
 
 	relayPairs map[[2]int]bool
 	killed     map[int]bool // cell slots currently down
@@ -586,15 +898,29 @@ func newHarness(t *testing.T, seed int64, nCells int) (*harness, error) {
 			}
 		}
 	}
+	if *chaosFed {
+		if nCells < 2 {
+			return h, fmt.Errorf("-chaos.fed needs at least 2 cells")
+		}
+		// A supervised relay per adjacent pair; loop prevention keeps
+		// every import single-hop.
+		for i := 0; i+1 < nCells; i++ {
+			h.startFedRelay(i, i+1)
+		}
+		if err := h.waitFedConnected(); err != nil {
+			return h, err
+		}
+	}
 	return h, nil
 }
 
 func (h *harness) newActor(cell int, subscribe bool) (*actor, error) {
 	a := &actor{
-		id:    len(h.actors),
-		cell:  cell,
-		recv:  map[int][]int64{},
-		fence: map[int]bool{},
+		id:       len(h.actors),
+		cell:     cell,
+		recv:     map[int][]int64{},
+		fence:    map[int]bool{},
+		fedFence: map[int]int{},
 	}
 	h.actors = append(h.actors, a)
 	if err := h.joinActor(a); err != nil {
@@ -615,10 +941,11 @@ func (h *harness) newActor(cell int, subscribe bool) (*actor, error) {
 // still see every retained event exactly once per log epoch.
 func (h *harness) newDurableActor(cell int) (*actor, error) {
 	a := &actor{
-		id:    len(h.actors),
-		cell:  cell,
-		recv:  map[int][]int64{},
-		fence: map[int]bool{},
+		id:       len(h.actors),
+		cell:     cell,
+		recv:     map[int][]int64{},
+		fence:    map[int]bool{},
+		fedFence: map[int]int{},
 	}
 	a.durable = fmt.Sprintf("dur-%d", a.id)
 	h.actors = append(h.actors, a)
@@ -702,6 +1029,17 @@ func (h *harness) quiesce() error {
 	}
 	h.killed = map[int]bool{}
 	h.stopRelays()
+	// Supervised relays stay up through quiesce — recovering and then
+	// carrying the fence exchange IS the federation invariant. Heal any
+	// link partition and wait for the supervisors to converge.
+	if *chaosFed {
+		for _, r := range h.fedRelays {
+			r.heal()
+		}
+		if err := h.waitFedConnected(); err != nil {
+			return err
+		}
+	}
 
 	// Reconnect every surviving actor with a fresh incarnation — the
 	// uniform way to recover members purged during partitions — and
@@ -746,6 +1084,14 @@ func (h *harness) quiesce() error {
 		return err
 	}
 
+	// Invariant I6: after heal, every fence crosses each federation
+	// relay and reaches every destination-cell subscriber exactly once
+	// — replay across reconnects is collapsed by dedup, never lost and
+	// never doubled.
+	if err := h.waitFedFences(); err != nil {
+		return err
+	}
+
 	// Invariant I2: per-publisher FIFO with no duplicates — every
 	// recorded (subscriber, publisher) sequence is strictly increasing.
 	for _, a := range h.actors {
@@ -765,9 +1111,25 @@ func (h *harness) quiesce() error {
 }
 
 func (h *harness) waitMembership() error {
-	deadline := time.Now().Add(cellLease + cellGrace + 15*time.Second)
+	wait := cellLease + cellGrace + 15*time.Second
+	if *chaosFed {
+		// A relay mid-reconnect briefly counts twice (old incarnation
+		// still leased, new one joined); give the purge room.
+		wait += 15 * time.Second
+	}
+	deadline := time.Now().Add(wait)
 	for slot, c := range h.cells {
 		want := len(h.liveActors(func(a *actor) bool { return a.cell == slot }))
+		// Each supervised relay holds one membership in its src cell
+		// and one in its dst cell.
+		for _, r := range h.fedRelays {
+			if r.src == slot {
+				want++
+			}
+			if r.dst == slot {
+				want++
+			}
+		}
 		var last string
 		for {
 			st, err := queryStats(c.discovery())
@@ -866,6 +1228,76 @@ func (h *harness) waitDurables() error {
 	return nil
 }
 
+// waitFedConnected waits until every supervised relay holds live
+// memberships on both sides.
+func (h *harness) waitFedConnected() error {
+	deadline := time.Now().Add(60 * time.Second)
+	for _, r := range h.fedRelays {
+		for !r.connected.Load() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("invariant I6: relay %s->%s never (re)connected",
+					h.cells[r.src].name, h.cells[r.dst].name)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// waitFedFences enforces invariant I6: the post-heal fence from every
+// live publisher in a relay's src cell reaches every subscribed actor
+// in the dst cell exactly once. The "at least once" half proves the
+// supervised link recovered (a parked or dead link starves it — the
+// old permanent-death bug); the "at most once" half proves reconnect
+// replay is collapsed by the destination log's dedup rather than
+// surfacing as duplicates.
+func (h *harness) waitFedFences() error {
+	if len(h.fedRelays) == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		missing := ""
+		for _, r := range h.fedRelays {
+			subs := h.liveActors(func(a *actor) bool { return a.cell == r.dst && a.subscribed })
+			pubs := h.liveActors(func(a *actor) bool { return a.cell == r.src })
+			for _, sub := range subs {
+				for _, pub := range pubs {
+					sub.mu.Lock()
+					n := sub.fedFence[pub.id]
+					sub.mu.Unlock()
+					if n == 0 {
+						missing = fmt.Sprintf("subscriber %d (cell %s) missing federated fence from publisher %d (cell %s)",
+							sub.id, h.cells[r.dst].name, pub.id, h.cells[r.src].name)
+					}
+				}
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invariant I6: %s", missing)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Every fence crossed; give straggling duplicates a settle window,
+	// then require exactly-once.
+	time.Sleep(500 * time.Millisecond)
+	for _, a := range h.actors {
+		a.mu.Lock()
+		for pub, n := range a.fedFence {
+			if n > 1 {
+				a.mu.Unlock()
+				return fmt.Errorf("invariant I6: subscriber %d saw federated fence from publisher %d %d times, want exactly once",
+					a.id, pub, n)
+			}
+		}
+		a.mu.Unlock()
+	}
+	return nil
+}
+
 func (h *harness) waitFences() error {
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -900,6 +1332,7 @@ func (h *harness) teardown() error {
 		}
 	}
 	h.stopRelays()
+	h.stopFedRelays()
 	// Let leave-purges and final acks settle before asking the daemons
 	// to drain.
 	time.Sleep(500 * time.Millisecond)
@@ -922,6 +1355,7 @@ func (h *harness) abort() {
 		}
 	}
 	h.stopRelays()
+	h.stopFedRelays()
 	for _, c := range h.cells {
 		h.killCell(c)
 	}
